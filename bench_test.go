@@ -1,0 +1,306 @@
+// Benchmarks regenerating each table and figure of the paper's evaluation
+// (Section 6), plus simulator micro-benchmarks. Each figure bench runs the
+// experiment harness at reduced scale (a benchmark subset and a smaller
+// instruction budget than cmd/bjexp's 300k default) and reports the figure's
+// headline quantities as benchmark metrics; run `go run ./cmd/bjexp` for the
+// full-scale tables.
+package blackjack
+
+import (
+	"testing"
+
+	"blackjack/internal/core"
+	"blackjack/internal/experiments"
+	"blackjack/internal/isa"
+	"blackjack/internal/pipeline"
+	"blackjack/internal/prog"
+)
+
+// benchOpts is the reduced-scale setup the figure benches share: one low-IPC
+// FP benchmark, one mid, two high-IPC integer benchmarks.
+func benchOpts() experiments.Options {
+	return experiments.Options{
+		Machine:      pipeline.DefaultConfig(),
+		Instructions: 8000,
+		Benchmarks:   []string{"equake", "gcc", "gzip", "sixtrack"},
+	}
+}
+
+func mustSuite(b *testing.B) *experiments.Suite {
+	b.Helper()
+	s, err := experiments.RunSuite(benchOpts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkTable1Params regenerates Table 1 (processor parameters).
+func BenchmarkTable1Params(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = experiments.Table1(pipeline.DefaultConfig()).NumRows()
+	}
+	b.ReportMetric(float64(rows), "params")
+}
+
+// BenchmarkFig4aCoverage regenerates Figure 4a (hard-error instruction
+// coverage of the entire pipeline, SRT vs BlackJack).
+func BenchmarkFig4aCoverage(b *testing.B) {
+	var srt, bj float64
+	for i := 0; i < b.N; i++ {
+		s := mustSuite(b)
+		total, _ := s.Figure4()
+		avg := total[len(total)-1]
+		srt, bj = avg.SRT, avg.BlackJack
+	}
+	b.ReportMetric(100*srt, "srt-cov-%")
+	b.ReportMetric(100*bj, "blackjack-cov-%")
+}
+
+// BenchmarkFig4bBackendCoverage regenerates Figure 4b (backend-only
+// coverage).
+func BenchmarkFig4bBackendCoverage(b *testing.B) {
+	var srt, bj float64
+	for i := 0; i < b.N; i++ {
+		s := mustSuite(b)
+		_, backend := s.Figure4()
+		avg := backend[len(backend)-1]
+		srt, bj = avg.SRT, avg.BlackJack
+	}
+	b.ReportMetric(100*srt, "srt-backend-%")
+	b.ReportMetric(100*bj, "blackjack-backend-%")
+}
+
+// BenchmarkFig5Interference regenerates Figure 5 (issue cycles losing
+// coverage to trailing-trailing and leading-trailing interference).
+func BenchmarkFig5Interference(b *testing.B) {
+	var tt, lt float64
+	for i := 0; i < b.N; i++ {
+		rows := mustSuite(b).Figure5()
+		avg := rows[len(rows)-1]
+		tt, lt = avg.TT, avg.LT
+	}
+	b.ReportMetric(100*tt, "tt-interf-%")
+	b.ReportMetric(100*lt, "lt-interf-%")
+}
+
+// BenchmarkFig6Burstiness regenerates Figure 6 (issue cycles with all
+// instructions from one context).
+func BenchmarkFig6Burstiness(b *testing.B) {
+	var sc float64
+	for i := 0; i < b.N; i++ {
+		rows := mustSuite(b).Figure6()
+		sc = rows[len(rows)-1].SingleCtx
+	}
+	b.ReportMetric(100*sc, "single-ctx-%")
+}
+
+// BenchmarkFig7Performance regenerates Figure 7 (performance of SRT,
+// BlackJack-NS and BlackJack normalized to the single thread).
+func BenchmarkFig7Performance(b *testing.B) {
+	var srt, ns, bj float64
+	for i := 0; i < b.N; i++ {
+		rows := mustSuite(b).Figure7()
+		avg := rows[len(rows)-1]
+		srt, ns, bj = avg.SRT, avg.BlackJackNS, avg.BlackJack
+	}
+	b.ReportMetric(100*srt, "srt-perf-%")
+	b.ReportMetric(100*ns, "blackjack-ns-perf-%")
+	b.ReportMetric(100*bj, "blackjack-perf-%")
+}
+
+// BenchmarkExtAFaultInjection regenerates Ext-A (empirical fault-injection
+// detection coverage per mode).
+func BenchmarkExtAFaultInjection(b *testing.B) {
+	opts := benchOpts()
+	opts.Instructions = 5000
+	var srtRate, bjRate float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtAFaultInjection(opts, "gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Mode {
+			case pipeline.ModeSRT:
+				srtRate = r.Rate
+			case pipeline.ModeBlackJack:
+				bjRate = r.Rate
+			}
+		}
+	}
+	b.ReportMetric(100*srtRate, "srt-detect-%")
+	b.ReportMetric(100*bjRate, "blackjack-detect-%")
+}
+
+// BenchmarkExtBIdealShuffle regenerates Ext-B (the slowdown decomposition:
+// one-packet-per-cycle fetch vs shuffle splitting, with BlackJack-NS as the
+// ideal-shuffle performance bound).
+func BenchmarkExtBIdealShuffle(b *testing.B) {
+	var rows int
+	for i := 0; i < b.N; i++ {
+		rows = mustSuite(b).ExtBTable().NumRows()
+	}
+	b.ReportMetric(float64(rows), "rows")
+}
+
+// BenchmarkExtCPayloadRAM regenerates Ext-C (shared vs split issue-queue
+// payload RAM vulnerability).
+func BenchmarkExtCPayloadRAM(b *testing.B) {
+	opts := benchOpts()
+	opts.Instructions = 2500
+	var sharedSilent, splitSilent int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtCPayloadRAM(opts, []string{"gzip"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sharedSilent, splitSilent = rows[0].SharedSilent, rows[0].SplitSilent
+	}
+	b.ReportMetric(float64(sharedSilent), "shared-silent")
+	b.ReportMetric(float64(splitSilent), "split-silent")
+}
+
+// BenchmarkExtDSlackSweep regenerates Ext-D (slack and DTQ sensitivity).
+func BenchmarkExtDSlackSweep(b *testing.B) {
+	opts := benchOpts()
+	opts.Instructions = 5000
+	var points int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtDSweep(opts, "gcc", []int{64, 256, 1024}, []int{256, 1024})
+		if err != nil {
+			b.Fatal(err)
+		}
+		points = len(rows)
+	}
+	b.ReportMetric(float64(points), "points")
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed: committed
+// instructions per wall-clock second on the full BlackJack configuration.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	p := prog.MustBenchmark("gcc")
+	const n = 20000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := pipeline.New(pipeline.DefaultConfig(), pipeline.ModeBlackJack, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := m.Run(n)
+		if st.Deadlocked {
+			b.Fatal("deadlocked")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkGoldenEmulator measures the functional golden model's speed.
+func BenchmarkGoldenEmulator(b *testing.B) {
+	p := prog.MustBenchmark("gcc")
+	const n = 100000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := isa.NewMachine(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(n)
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkExtEMergingShuffle regenerates Ext-E (the merging-shuffle
+// extension the paper's Section 6.2 suggests).
+func BenchmarkExtEMergingShuffle(b *testing.B) {
+	opts := benchOpts()
+	var basePerf, mergePerf float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtEMergingShuffle(opts, []string{"sixtrack"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		basePerf, mergePerf = rows[0].BasePerf, rows[0].MergePerf
+	}
+	b.ReportMetric(100*basePerf, "blackjack-perf-%")
+	b.ReportMetric(100*mergePerf, "merge-perf-%")
+}
+
+// BenchmarkExtFMultiFault regenerates Ext-F (multiple uncorrelated hard
+// faults, Section 4.5).
+func BenchmarkExtFMultiFault(b *testing.B) {
+	opts := benchOpts()
+	opts.Instructions = 2500
+	var silent int
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtFMultiFault(opts, "gcc", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		silent = 0
+		for _, r := range rows {
+			silent += r.Silent
+		}
+	}
+	b.ReportMetric(float64(silent), "silent")
+}
+
+// BenchmarkExtGSoftErrors regenerates Ext-G (transient/soft-error injection:
+// the coverage BlackJack inherits from SRT).
+func BenchmarkExtGSoftErrors(b *testing.B) {
+	opts := benchOpts()
+	opts.Instructions = 5000
+	var srtRate, bjRate float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtGSoftErrors(opts, "gcc")
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			switch r.Mode {
+			case pipeline.ModeSRT:
+				srtRate = r.Rate
+			case pipeline.ModeBlackJack:
+				bjRate = r.Rate
+			}
+		}
+	}
+	b.ReportMetric(100*srtRate, "srt-detect-%")
+	b.ReportMetric(100*bjRate, "blackjack-detect-%")
+}
+
+// BenchmarkExtHSeedRobustness regenerates Ext-H (seed-robustness of the
+// headline metrics).
+func BenchmarkExtHSeedRobustness(b *testing.B) {
+	opts := benchOpts()
+	opts.Benchmarks = []string{"gzip", "equake"}
+	opts.Instructions = 5000
+	var bjCov float64
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.ExtHSeedRobustness(opts, []uint64{0, 5000})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bjCov = (rows[0].BJCov + rows[1].BJCov) / 2
+	}
+	b.ReportMetric(100*bjCov, "blackjack-cov-%")
+}
+
+// BenchmarkSafeShuffle measures the safe-shuffle algorithm itself (packets
+// shuffled per second).
+func BenchmarkSafeShuffle(b *testing.B) {
+	units := pipeline.DefaultConfig().Units
+	sh := &core.Shuffler{Width: 4, Units: units}
+	in := []*core.Entry{
+		{Seq: 1, FrontWay: 0, BackWay: 0, Class: isa.UnitIntALU},
+		{Seq: 2, FrontWay: 1, BackWay: 1, Class: isa.UnitIntALU},
+		{Seq: 3, FrontWay: 2, BackWay: 0, Class: isa.UnitMem},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if out := sh.Shuffle(in); len(out) == 0 {
+			b.Fatal("empty shuffle")
+		}
+	}
+}

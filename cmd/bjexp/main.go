@@ -1,0 +1,203 @@
+// Command bjexp regenerates the paper's tables and figures (and the
+// extension studies) as text tables.
+//
+// Usage:
+//
+//	bjexp -exp all -n 300000
+//	bjexp -exp fig7
+//	bjexp -exp exta -bench gcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blackjack/internal/experiments"
+)
+
+var experimentNames = []string{
+	"table1", "fig4a", "fig4b", "fig5", "fig6", "fig7", "headline",
+	"exta", "extb", "extc", "extd", "exte", "extf", "extg", "exth", "all",
+}
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: "+strings.Join(experimentNames, ", "))
+		n       = flag.Int("n", 300_000, "committed-instruction budget per (benchmark, mode)")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
+		bench   = flag.String("bench", "gcc", "benchmark for single-benchmark experiments (exta, extd)")
+		svgDir  = flag.String("svg", "", "also render the figures as SVG charts into this directory")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	opts.Instructions = *n
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	switch *exp {
+	case "table1":
+		experiments.Table1(opts.Machine).Render(os.Stdout)
+	case "exta":
+		runExtA(opts, *bench)
+	case "extc":
+		runExtC(opts)
+	case "extd":
+		runExtD(opts, *bench)
+	case "exte":
+		runExtE(opts)
+	case "extf":
+		runExtF(opts, *bench)
+	case "extg":
+		runExtG(opts, *bench)
+	case "exth":
+		runExtH(opts)
+	case "fig4a", "fig4b", "fig5", "fig6", "fig7", "headline", "extb":
+		suite := mustSuite(opts)
+		renderFromSuite(suite, *exp)
+		writeSVGs(suite, *svgDir)
+	case "all":
+		experiments.Table1(opts.Machine).Render(os.Stdout)
+		fmt.Println()
+		suite := mustSuite(opts)
+		for _, e := range []string{"fig4a", "fig4b", "fig5", "fig6", "fig7", "headline", "extb"} {
+			renderFromSuite(suite, e)
+			fmt.Println()
+		}
+		writeSVGs(suite, *svgDir)
+		runExtA(opts, *bench)
+		fmt.Println()
+		runExtC(opts)
+		fmt.Println()
+		runExtD(opts, *bench)
+		fmt.Println()
+		runExtE(opts)
+		fmt.Println()
+		runExtF(opts, *bench)
+		fmt.Println()
+		runExtG(opts, *bench)
+		fmt.Println()
+		runExtH(opts)
+	default:
+		fatal(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(experimentNames, ", ")))
+	}
+}
+
+func mustSuite(opts experiments.Options) *experiments.Suite {
+	fmt.Fprintf(os.Stderr, "bjexp: running %d benchmarks x 4 modes x %d instructions...\n",
+		len(opts.Benchmarks), opts.Instructions)
+	s, err := experiments.RunSuite(opts)
+	if err != nil {
+		fatal(err)
+	}
+	return s
+}
+
+func renderFromSuite(s *experiments.Suite, exp string) {
+	switch exp {
+	case "fig4a":
+		s.Figure4aTable().Render(os.Stdout)
+	case "fig4b":
+		s.Figure4bTable().Render(os.Stdout)
+	case "fig5":
+		s.Figure5Table().Render(os.Stdout)
+	case "fig6":
+		s.Figure6Table().Render(os.Stdout)
+	case "fig7":
+		s.Figure7Table().Render(os.Stdout)
+	case "headline":
+		s.HeadlineTable().Render(os.Stdout)
+	case "extb":
+		s.ExtBTable().Render(os.Stdout)
+	}
+}
+
+func writeSVGs(suite *experiments.Suite, dir string) {
+	if dir == "" {
+		return
+	}
+	paths, err := suite.WriteSVGs(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "bjexp: wrote %d SVG figures to %s\n", len(paths), dir)
+}
+
+func runExtA(opts experiments.Options, bench string) {
+	// Fault campaigns re-run the workload once per site; scale the budget
+	// down so the full campaign stays fast.
+	campaign := opts
+	campaign.Instructions = min(opts.Instructions, 30_000)
+	rows, err := experiments.ExtAFaultInjection(campaign, bench)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtATable(rows, bench).Render(os.Stdout)
+}
+
+func runExtC(opts experiments.Options) {
+	campaign := opts
+	campaign.Instructions = min(opts.Instructions, 20_000)
+	rows, err := experiments.ExtCPayloadRAM(campaign, []string{"gzip", "equake"})
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtCTable(rows).Render(os.Stdout)
+}
+
+func runExtD(opts experiments.Options, bench string) {
+	rows, err := experiments.ExtDSweep(opts, bench, nil, nil)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtDTable(rows).Render(os.Stdout)
+}
+
+func runExtE(opts experiments.Options) {
+	rows, err := experiments.ExtEMergingShuffle(opts, nil)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtETable(rows).Render(os.Stdout)
+}
+
+func runExtF(opts experiments.Options, bench string) {
+	campaign := opts
+	campaign.Instructions = min(opts.Instructions, 20_000)
+	rows, err := experiments.ExtFMultiFault(campaign, bench, 3)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtFTable(rows, bench).Render(os.Stdout)
+}
+
+func runExtG(opts experiments.Options, bench string) {
+	campaign := opts
+	campaign.Instructions = min(opts.Instructions, 30_000)
+	rows, err := experiments.ExtGSoftErrors(campaign, bench)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtGTable(rows, bench).Render(os.Stdout)
+}
+
+func runExtH(opts experiments.Options) {
+	study := opts
+	if len(study.Benchmarks) > 4 {
+		study.Benchmarks = []string{"equake", "gcc", "gzip", "sixtrack"}
+	}
+	study.Instructions = min(opts.Instructions, 60_000)
+	rows, err := experiments.ExtHSeedRobustness(study, nil)
+	if err != nil {
+		fatal(err)
+	}
+	experiments.ExtHTable(rows, study.Benchmarks).Render(os.Stdout)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bjexp:", err)
+	os.Exit(1)
+}

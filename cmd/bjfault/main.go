@@ -1,0 +1,120 @@
+// Command bjfault runs hard-fault injection campaigns: it installs one
+// permanent fault per run (a frontend way, backend way, payload-RAM slot or
+// physical register), executes the workload redundantly, and classifies each
+// outcome as detected, silent corruption, benign, or wedged.
+//
+// Usage:
+//
+//	bjfault -bench gcc -mode blackjack -n 30000             # standard campaign
+//	bjfault -bench gcc -mode srt -site frontend -way 1      # one site
+//	bjfault -bench gzip -mode blackjack -compare            # srt vs blackjack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"blackjack"
+	"blackjack/internal/fault"
+	"blackjack/internal/isa"
+	"blackjack/internal/rename"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "gcc", "benchmark name")
+		mode    = flag.String("mode", "blackjack", "machine mode")
+		n       = flag.Int("n", 30_000, "committed-instruction budget per run")
+		site    = flag.String("site", "", "single site class: frontend, backend, payload, register (empty: standard campaign)")
+		way     = flag.Int("way", 0, "way index for frontend/backend sites")
+		unit    = flag.String("unit", "intALU", "unit class for backend sites: intALU, intMul, intDiv, fpALU, fpMul, mem")
+		slot    = flag.Int("slot", 0, "issue-queue slot for payload sites")
+		reg     = flag.Int("reg", 200, "physical register for register sites")
+		split   = flag.Bool("split", true, "model split per-thread payload RAMs")
+		compare = flag.Bool("compare", false, "run the campaign under srt AND blackjack and compare")
+	)
+	flag.Parse()
+
+	m, err := blackjack.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := blackjack.DefaultConfig(m, *n)
+	opts := blackjack.InjectOptions{SplitPayload: *split}
+
+	if *site != "" {
+		s, err := buildSite(*site, *way, *unit, *slot, *reg)
+		if err != nil {
+			fatal(err)
+		}
+		r, err := blackjack.Inject(cfg, *bench, s, opts)
+		if err != nil {
+			fatal(err)
+		}
+		printOne(r)
+		return
+	}
+
+	sites := blackjack.StandardFaultSites(cfg.Machine)
+	if *compare {
+		for _, mm := range []blackjack.Mode{blackjack.ModeSRT, blackjack.ModeBlackJack} {
+			c := cfg
+			c.Mode = mm
+			runCampaign(c, *bench, sites, opts)
+		}
+		return
+	}
+	runCampaign(cfg, *bench, sites, opts)
+}
+
+func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite, opts blackjack.InjectOptions) {
+	sum, err := blackjack.Campaign(cfg, bench, sites, opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("== %s on %q: %d sites ==\n", cfg.Mode, bench, len(sites))
+	for _, r := range sum.Results {
+		printOne(r)
+	}
+	fmt.Printf("summary: %d activated, detection rate %.1f%% (detected %d, silent %d, benign %d, wedged %d)\n\n",
+		sum.ActiveRuns, 100*sum.DetectionRate(),
+		sum.Counts[blackjack.OutcomeDetected], sum.Counts[blackjack.OutcomeSilent],
+		sum.Counts[blackjack.OutcomeBenign], sum.Counts[blackjack.OutcomeWedged])
+}
+
+func printOne(r blackjack.InjectionResult) {
+	detail := ""
+	if r.FirstEvent != nil {
+		detail = " | " + r.FirstEvent.String()
+	}
+	fmt.Printf("%-44s %-17s activations=%-7d%s\n", r.Site, r.Outcome, r.Activations, detail)
+}
+
+func buildSite(class string, way int, unit string, slot, reg int) (blackjack.FaultSite, error) {
+	units := map[string]isa.UnitClass{
+		"intALU": isa.UnitIntALU, "intMul": isa.UnitIntMul, "intDiv": isa.UnitIntDiv,
+		"fpALU": isa.UnitFPALU, "fpMul": isa.UnitFPMul, "mem": isa.UnitMem,
+	}
+	switch class {
+	case "frontend":
+		return blackjack.FaultSite{Class: blackjack.FaultFrontendWay, Way: way, Field: fault.FieldRs2}, nil
+	case "backend":
+		u, ok := units[unit]
+		if !ok {
+			return blackjack.FaultSite{}, fmt.Errorf("unknown unit %q", unit)
+		}
+		return blackjack.FaultSite{Class: blackjack.FaultBackendWay, Unit: u, Way: way, BitMask: 1 << 9}, nil
+	case "payload":
+		return blackjack.FaultSite{Class: blackjack.FaultPayloadRAM, Slot: slot, Field: fault.FieldImm, BitMask: 2}, nil
+	case "register":
+		return blackjack.FaultSite{Class: blackjack.FaultRegisterFile, Reg: rename.PhysReg(reg), BitMask: 1 << 5}, nil
+	default:
+		return blackjack.FaultSite{}, fmt.Errorf("unknown site class %q", class)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bjfault:", err)
+	os.Exit(1)
+}

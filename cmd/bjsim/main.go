@@ -1,0 +1,120 @@
+// Command bjsim runs one benchmark on one machine configuration and prints
+// detailed statistics.
+//
+// Usage:
+//
+//	bjsim -bench gzip -mode blackjack -n 300000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"blackjack"
+	"blackjack/internal/pipeline"
+)
+
+func main() {
+	var (
+		bench = flag.String("bench", "gzip", "benchmark name (see -list)")
+		mode  = flag.String("mode", "blackjack", "machine mode: single, srt, blackjack-ns, blackjack")
+		n     = flag.Int("n", 300_000, "leading-thread committed-instruction budget")
+		slack = flag.Int("slack", 0, "override slack target (0 keeps Table 1 value)")
+		iq    = flag.Int("iq", 0, "override issue queue size (0 keeps Table 1 value)")
+		list  = flag.Bool("list", false, "list benchmarks and exit")
+		trace = flag.Int("trace", 0, "print a pipeline trace of the first N events")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(blackjack.Benchmarks(), "\n"))
+		return
+	}
+	m, err := blackjack.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := blackjack.DefaultConfig(m, *n)
+	if *slack > 0 {
+		cfg.Machine.Slack = *slack
+	}
+	if *iq > 0 {
+		cfg.Machine.IssueQueue = *iq
+	}
+	if *trace > 0 {
+		runTraced(cfg, *bench, *trace)
+		return
+	}
+	res, err := blackjack.Run(cfg, *bench)
+	if err != nil {
+		fatal(err)
+	}
+	printResult(res)
+}
+
+// runTraced runs with a pipeline tracer attached and prints the
+// per-instruction lifecycle listing (stage cycles, way assignments).
+func runTraced(cfg blackjack.Config, bench string, events int) {
+	p, err := blackjack.BenchmarkProgram(bench)
+	if err != nil {
+		fatal(err)
+	}
+	tr := &pipeline.Tracer{MaxEvents: events}
+	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, pipeline.WithTracer(tr))
+	if err != nil {
+		fatal(err)
+	}
+	m.Run(cfg.MaxInstructions)
+	tr.Render(os.Stdout)
+}
+
+func printResult(r *blackjack.Result) {
+	st := r.Stats
+	fmt.Printf("benchmark        %s\n", r.Benchmark)
+	fmt.Printf("mode             %s\n", r.Mode)
+	fmt.Printf("cycles           %d\n", st.Cycles)
+	fmt.Printf("committed        lead=%d trail=%d\n", st.Committed[0], st.Committed[1])
+	fmt.Printf("IPC (leading)    %.3f\n", st.IPC())
+	fmt.Printf("branches         %d (%d mispredicted)\n", st.Branches, st.Mispredicts)
+	fmt.Printf("cache            %d accesses, %d L1 misses, %d L2 misses\n",
+		st.Cache.Accesses, st.Cache.L1Misses, st.Cache.L2Misses)
+	fmt.Printf("stores released  %d (output %s golden model)\n", st.ReleasedStores, matchWord(r.OutputMatches))
+	if r.Mode != blackjack.ModeSingle {
+		fmt.Printf("coverage         %.1f%% total, %.1f%% frontend, %.1f%% backend (%d pairs)\n",
+			100*st.Coverage(), 100*st.FrontendDiversity(), 100*st.BackendDiversity(), st.Pairs)
+		fmt.Printf("interference     %.2f%% leading-trailing, %.2f%% trailing-trailing\n",
+			100*st.LTInterferenceFrac(), 100*st.TTInterferenceFrac())
+		fmt.Printf("issue cycles     %.1f%% single-context\n", 100*st.SingleContextFrac())
+		fmt.Printf("detections       %d\n", st.Detections)
+	}
+	if r.Mode != blackjack.ModeSingle {
+		names := []string{"intALU", "intMul", "intDiv", "fpALU", "fpMul", "mem"}
+		fmt.Printf("per-class be-div ")
+		for i, name := range names {
+			frac, pairs := st.ClassDiversity(i)
+			if pairs == 0 {
+				continue
+			}
+			fmt.Printf("%s=%.1f%%(%d) ", name, 100*frac, pairs)
+		}
+		fmt.Println()
+	}
+	if r.Mode == blackjack.ModeBlackJack || r.Mode == blackjack.ModeBlackJackNS {
+		fmt.Printf("shuffle          %d packets in, %d out, %d splits, %d NOPs (%d NOPs executed)\n",
+			st.ShuffleInPackets, st.ShuffleOutPackets, st.ShuffleSplits, st.ShuffleNOPs, st.NOPsExecuted)
+	}
+}
+
+func matchWord(ok bool) string {
+	if ok {
+		return "matches"
+	}
+	return "DIFFERS FROM"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bjsim:", err)
+	os.Exit(1)
+}

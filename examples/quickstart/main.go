@@ -1,0 +1,37 @@
+// Quickstart: run one benchmark on the full BlackJack machine and print the
+// paper's two headline metrics for it — hard-error instruction coverage and
+// the performance cost relative to the unprotected single-thread machine.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"blackjack"
+)
+
+func main() {
+	const (
+		bench  = "gzip"
+		budget = 100_000
+	)
+
+	// Run the non-fault-tolerant baseline and BlackJack on the same
+	// workload with the same committed-instruction budget.
+	single, err := blackjack.Run(blackjack.DefaultConfig(blackjack.ModeSingle, budget), bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bj, err := blackjack.Run(blackjack.DefaultConfig(blackjack.ModeBlackJack, budget), bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("benchmark            %s (%d instructions)\n", bench, budget)
+	fmt.Printf("single-thread IPC    %.2f\n", single.Stats.IPC())
+	fmt.Printf("BlackJack IPC        %.2f\n", bj.Stats.IPC())
+	fmt.Printf("performance          %.1f%% of single thread\n", 100*bj.NormalizedPerf(single))
+	fmt.Printf("hard-error coverage  %.1f%% (frontend %.1f%%, backend %.1f%%)\n",
+		100*bj.Stats.Coverage(), 100*bj.Stats.FrontendDiversity(), 100*bj.Stats.BackendDiversity())
+	fmt.Printf("redundant output     %v (checked against the functional golden model)\n", bj.OutputMatches)
+}

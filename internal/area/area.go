@@ -1,0 +1,51 @@
+// Package area encodes the paper's area model (Section 5). The paper uses
+// HotSpot to estimate the core area vulnerable to hard defects under
+// redundant threading and divides it into three classes: issue queue,
+// frontend and backend. The issue queue is excluded from the instruction-pair
+// weighting — SRT is granted full issue-queue coverage as a benefit of the
+// doubt, and BlackJack covers it by the dependence check — and of the
+// remaining core area, 34% is accessed by the frontend pipe stages and 66% by
+// the backend.
+package area
+
+import "fmt"
+
+// Model holds the area weights for the two per-instruction-pair classes.
+type Model struct {
+	// FrontendFrac is the fraction of (non-issue-queue) core area accessed
+	// in the frontend pipe stages.
+	FrontendFrac float64
+	// BackendFrac is the fraction accessed in the backend.
+	BackendFrac float64
+}
+
+// Default returns the paper's HotSpot-derived split: 34% frontend, 66%
+// backend.
+func Default() Model { return Model{FrontendFrac: 0.34, BackendFrac: 0.66} }
+
+// Validate reports malformed weights.
+func (m Model) Validate() error {
+	if m.FrontendFrac < 0 || m.BackendFrac < 0 {
+		return fmt.Errorf("area: negative fraction")
+	}
+	if s := m.FrontendFrac + m.BackendFrac; s < 0.999 || s > 1.001 {
+		return fmt.Errorf("area: fractions sum to %.3f, want 1", s)
+	}
+	return nil
+}
+
+// PairCoverage returns the covered core-area fraction contributed by one
+// leading/trailing instruction pair, given whether the pair used spatially
+// diverse frontend and backend ways. This is the paper's hard-error
+// instruction coverage metric: partial coverage of single instructions is
+// allowed (Section 5).
+func (m Model) PairCoverage(frontendDiverse, backendDiverse bool) float64 {
+	c := 0.0
+	if frontendDiverse {
+		c += m.FrontendFrac
+	}
+	if backendDiverse {
+		c += m.BackendFrac
+	}
+	return c
+}

@@ -1,0 +1,44 @@
+package area
+
+import "testing"
+
+func TestDefaultModel(t *testing.T) {
+	m := Default()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.FrontendFrac != 0.34 || m.BackendFrac != 0.66 {
+		t.Errorf("default = %+v, want 34/66 split", m)
+	}
+}
+
+func TestPairCoverage(t *testing.T) {
+	m := Default()
+	tests := []struct {
+		fe, be bool
+		want   float64
+	}{
+		{false, false, 0},
+		{true, false, 0.34},
+		{false, true, 0.66},
+		{true, true, 1.0},
+	}
+	for _, tt := range tests {
+		if got := m.PairCoverage(tt.fe, tt.be); got != tt.want {
+			t.Errorf("PairCoverage(%v,%v) = %v, want %v", tt.fe, tt.be, got, tt.want)
+		}
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	bad := []Model{
+		{FrontendFrac: -0.1, BackendFrac: 1.1},
+		{FrontendFrac: 0.5, BackendFrac: 0.4},
+		{FrontendFrac: 0.9, BackendFrac: 0.9},
+	}
+	for _, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", m)
+		}
+	}
+}

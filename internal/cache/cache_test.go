@@ -1,0 +1,198 @@
+package cache
+
+import "testing"
+
+func TestDefaultConfigValid(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		edit func(*Config)
+	}{
+		{"line not power of two", func(c *Config) { c.LineBytes = 48 }},
+		{"zero line", func(c *Config) { c.LineBytes = 0 }},
+		{"zero l1", func(c *Config) { c.L1SizeKB = 0 }},
+		{"zero ways", func(c *Config) { c.L2Ways = 0 }},
+		{"zero l1 latency", func(c *Config) { c.L1Lat = 0 }},
+		{"negative mem latency", func(c *Config) { c.MemLat = -1 }},
+		{"zero ports", func(c *Config) { c.L1Ports = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			c := DefaultConfig()
+			tt.edit(&c)
+			if err := c.Validate(); err == nil {
+				t.Error("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(DefaultConfig())
+	lat, ok := h.Access(0x1000, 1)
+	if !ok {
+		t.Fatal("port denied")
+	}
+	wantMiss := 2 + 12 + 350
+	if lat != wantMiss {
+		t.Errorf("cold access latency = %d, want %d", lat, wantMiss)
+	}
+	lat, ok = h.Access(0x1000, 2)
+	if !ok || lat != 2 {
+		t.Errorf("second access = (%d,%v), want (2,true)", lat, ok)
+	}
+	s := h.Stats()
+	if s.Accesses != 2 || s.L1Misses != 1 || s.L2Misses != 1 {
+		t.Errorf("stats = %+v, want 2 accesses, 1 L1 miss, 1 L2 miss", s)
+	}
+}
+
+func TestSameLineHits(t *testing.T) {
+	h := New(DefaultConfig())
+	h.Access(0x1000, 1)
+	lat, _ := h.Access(0x1038, 2) // same 64B line
+	if lat != 2 {
+		t.Errorf("same-line access latency = %d, want 2", lat)
+	}
+}
+
+func TestL2HitAfterL1Eviction(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	// L1: 64KB 4-way 64B lines -> 256 sets. Addresses that map to set 0 are
+	// multiples of 256*64 = 16KB. Fill set 0 with 5 distinct lines: the first
+	// is evicted from L1 but remains in L2.
+	step := uint64(cfg.L1SizeKB) * 1024 / uint64(cfg.L1Ways) // 16KB
+	for i := uint64(0); i < 5; i++ {
+		h.Access(i*step, int64(i+1))
+	}
+	lat, _ := h.Access(0, 100)
+	if lat != cfg.L1Lat+cfg.L2Lat {
+		t.Errorf("evicted-line latency = %d, want %d (L2 hit)", lat, cfg.L1Lat+cfg.L2Lat)
+	}
+}
+
+func TestPortLimit(t *testing.T) {
+	h := New(DefaultConfig())
+	if _, ok := h.Access(0, 7); !ok {
+		t.Fatal("first port denied")
+	}
+	if _, ok := h.Access(64, 7); !ok {
+		t.Fatal("second port denied")
+	}
+	if !h.PortFree(8) {
+		t.Error("ports should be free next cycle")
+	}
+	if h.PortFree(7) {
+		t.Error("no port should remain in cycle 7")
+	}
+	if _, ok := h.Access(128, 7); ok {
+		t.Error("third same-cycle access should be rejected")
+	}
+	if h.Stats().PortStall != 1 {
+		t.Errorf("port stalls = %d, want 1", h.Stats().PortStall)
+	}
+	if _, ok := h.Access(128, 8); !ok {
+		t.Error("access should succeed in the next cycle")
+	}
+}
+
+func TestProbeDoesNotDisturbState(t *testing.T) {
+	h := New(DefaultConfig())
+	if got := h.Probe(0x2000); got != 2+12+350 {
+		t.Errorf("probe of cold line = %d, want full miss latency", got)
+	}
+	// Probe must not have filled the line.
+	if lat, _ := h.Access(0x2000, 1); lat != 2+12+350 {
+		t.Errorf("access after probe = %d, want full miss latency", lat)
+	}
+	if got := h.Probe(0x2000); got != 2 {
+		t.Errorf("probe after fill = %d, want 2", got)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	step := uint64(cfg.L1SizeKB) * 1024 / uint64(cfg.L1Ways)
+	// Fill the 4 ways of set 0, touch line 0 again to make line at step the
+	// LRU victim, then bring in a 5th line.
+	for i := uint64(0); i < 4; i++ {
+		h.Access(i*step, int64(i))
+	}
+	h.Access(0, 10)      // refresh line 0
+	h.Access(4*step, 11) // evicts line at 1*step
+	if lat, _ := h.Access(0, 12); lat != cfg.L1Lat {
+		t.Errorf("line 0 should still hit L1, latency %d", lat)
+	}
+	if lat, _ := h.Access(step, 13); lat == cfg.L1Lat {
+		t.Error("LRU line should have been evicted from L1")
+	}
+}
+
+func TestWorkingSetFitsL1AlwaysHitsAfterWarmup(t *testing.T) {
+	h := New(DefaultConfig())
+	const ws = 32 * 1024
+	cycle := int64(0)
+	for a := uint64(0); a < ws; a += 64 {
+		cycle++
+		h.Access(a, cycle)
+	}
+	misses := h.Stats().L1Misses
+	for a := uint64(0); a < ws; a += 8 {
+		cycle++
+		if lat, _ := h.Access(a, cycle); lat != 2 {
+			t.Fatalf("warm access to %#x missed (lat %d)", a, lat)
+		}
+	}
+	if h.Stats().L1Misses != misses {
+		t.Errorf("L1 misses grew from %d to %d after warmup", misses, h.Stats().L1Misses)
+	}
+}
+
+// Conflict misses: more distinct lines mapping to one set than ways must
+// thrash, while the same lines spread across sets all hit.
+func TestConflictMisses(t *testing.T) {
+	cfg := DefaultConfig()
+	h := New(cfg)
+	setStride := uint64(cfg.L1SizeKB) * 1024 / uint64(cfg.L1Ways) // same-set stride
+	cycle := int64(0)
+	access := func(a uint64) int {
+		cycle++
+		lat, _ := h.Access(a, cycle)
+		return lat
+	}
+	// 8 lines in one set of a 4-way cache, accessed round-robin: every
+	// access past the warmup must miss L1 (hit L2).
+	for round := 0; round < 4; round++ {
+		for i := uint64(0); i < 8; i++ {
+			access(i * setStride)
+		}
+	}
+	missesBefore := h.Stats().L1Misses
+	for i := uint64(0); i < 8; i++ {
+		if lat := access(i * setStride); lat == cfg.L1Lat {
+			t.Fatalf("conflict line %d hit L1", i)
+		}
+	}
+	if h.Stats().L1Misses != missesBefore+8 {
+		t.Errorf("conflict misses = %d, want 8", h.Stats().L1Misses-missesBefore)
+	}
+	// The same 8 lines at line-sized strides (different sets) all hit.
+	h2 := New(cfg)
+	for i := uint64(0); i < 8; i++ {
+		cycle++
+		h2.Access(i*64, cycle)
+	}
+	for i := uint64(0); i < 8; i++ {
+		cycle++
+		if lat, _ := h2.Access(i*64, cycle); lat != cfg.L1Lat {
+			t.Errorf("spread line %d missed", i)
+		}
+	}
+}

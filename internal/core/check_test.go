@@ -1,0 +1,210 @@
+package core
+
+import (
+	"testing"
+
+	"blackjack/internal/detect"
+	"blackjack/internal/isa"
+	"blackjack/internal/rename"
+)
+
+func TestDoubleRenameSeedLookupBind(t *testing.T) {
+	d := NewDoubleRename(16)
+	if _, ok := d.Lookup(3); ok {
+		t.Error("unseeded lookup succeeded")
+	}
+	d.Seed(3, 10)
+	if p, ok := d.Lookup(3); !ok || p != 10 {
+		t.Errorf("Lookup(3) = (%d,%v), want (10,true)", p, ok)
+	}
+	d.Bind(3, 11)
+	if p, _ := d.Lookup(3); p != 11 {
+		t.Errorf("after Bind, Lookup(3) = %d, want 11", p)
+	}
+}
+
+// A correct, simple trailing commit sequence must pass all checks and free
+// the right registers.
+func TestOrderCheckerCleanSequence(t *testing.T) {
+	c := NewOrderChecker()
+	var sink detect.Sink
+	// Initial program-order mapping: r1->100, r2->101.
+	c.Seed(isa.IntReg(1), 100)
+	c.Seed(isa.IntReg(2), 101)
+
+	// pc 0: add r1, r1, r2 (trailing psrcs 100,101; pdest 102)
+	free, ok := c.Commit(&sink, 1, CommitInfo{
+		PC:      0,
+		RawInst: isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 1, Rs2: 2},
+		PSrc1:   100, PSrc2: 101, PDest: 102,
+	})
+	if !ok {
+		t.Fatalf("clean commit failed: %v", sink.Events())
+	}
+	if free != 100 {
+		t.Errorf("freed %d, want 100 (previous mapping of r1)", free)
+	}
+	// pc 1: add r2, r1, r2 — r1 now maps to 102.
+	free, ok = c.Commit(&sink, 2, CommitInfo{
+		PC:      1,
+		RawInst: isa.Inst{Op: isa.OpAdd, Rd: 2, Rs1: 1, Rs2: 2},
+		PSrc1:   102, PSrc2: 101, PDest: 103,
+	})
+	if !ok {
+		t.Fatalf("second commit failed: %v", sink.Events())
+	}
+	if free != 101 {
+		t.Errorf("freed %d, want 101", free)
+	}
+	if !sink.Empty() {
+		t.Errorf("events: %v", sink.Events())
+	}
+	dep, pc := c.Stats()
+	if dep != 4 || pc != 2 {
+		t.Errorf("stats = (%d,%d), want (4,2)", dep, pc)
+	}
+}
+
+func TestOrderCheckerDependenceMismatch(t *testing.T) {
+	c := NewOrderChecker()
+	var sink detect.Sink
+	c.Seed(isa.IntReg(1), 100)
+	_, ok := c.Commit(&sink, 1, CommitInfo{
+		PC:      0,
+		RawInst: isa.Inst{Op: isa.OpAddi, Rd: 2, Rs1: 1, Imm: 5},
+		PSrc1:   999, // executed with the wrong physical source
+		PDest:   103,
+	})
+	if ok {
+		t.Fatal("dependence mismatch accepted")
+	}
+	e, _ := sink.First()
+	if e.Checker != detect.CheckDependence {
+		t.Errorf("checker = %v, want dependence", e.Checker)
+	}
+}
+
+func TestOrderCheckerPCSequence(t *testing.T) {
+	c := NewOrderChecker()
+	var sink detect.Sink
+	nop := isa.Inst{Op: isa.OpNop}
+	// pc 0, 1 sequential: fine.
+	c.Commit(&sink, 1, CommitInfo{PC: 0, RawInst: nop})
+	if _, ok := c.Commit(&sink, 2, CommitInfo{PC: 1, RawInst: nop}); !ok {
+		t.Fatal("sequential PCs rejected")
+	}
+	// Taken branch at pc 1... already committed; next: branch at pc 2
+	// targeting 7.
+	br := isa.Inst{Op: isa.OpJmp, Imm: 7}
+	if _, ok := c.Commit(&sink, 3, CommitInfo{PC: 2, RawInst: br, Taken: true, Target: 7}); !ok {
+		t.Fatal("branch commit rejected")
+	}
+	// Correct target.
+	if _, ok := c.Commit(&sink, 4, CommitInfo{PC: 7, RawInst: nop}); !ok {
+		t.Fatal("branch target PC rejected")
+	}
+	// Now a skipped instruction: pc jumps 7 -> 9.
+	if _, ok := c.Commit(&sink, 5, CommitInfo{PC: 9, RawInst: nop}); ok {
+		t.Fatal("dropped instruction not detected")
+	}
+	e := sink.Events()[len(sink.Events())-1]
+	if e.Checker != detect.CheckPCOrder {
+		t.Errorf("checker = %v, want pc-order", e.Checker)
+	}
+}
+
+func TestOrderCheckerNotTakenBranchFallsThrough(t *testing.T) {
+	c := NewOrderChecker()
+	var sink detect.Sink
+	br := isa.Inst{Op: isa.OpBeq, Rs1: 0, Rs2: 0, Imm: 9}
+	c.Seed(isa.ZeroReg, 0)
+	c.Commit(&sink, 1, CommitInfo{PC: 3, RawInst: br, PSrc1: 0, PSrc2: 0, Taken: false, Target: 9})
+	if _, ok := c.Commit(&sink, 2, CommitInfo{PC: 4, RawInst: isa.Inst{Op: isa.OpNop}}); !ok {
+		t.Fatalf("fall-through rejected: %v", sink.Events())
+	}
+	// A wrong fall-through after a taken branch must be caught.
+	c2 := NewOrderChecker()
+	var sink2 detect.Sink
+	c2.Seed(isa.ZeroReg, 0)
+	c2.Commit(&sink2, 1, CommitInfo{PC: 3, RawInst: br, PSrc1: 0, PSrc2: 0, Taken: true, Target: 9})
+	if _, ok := c2.Commit(&sink2, 2, CommitInfo{PC: 4, RawInst: isa.Inst{Op: isa.OpNop}}); ok {
+		t.Fatal("taken branch followed by fall-through PC not detected")
+	}
+}
+
+func TestOrderCheckerFreesNoneWithoutDest(t *testing.T) {
+	c := NewOrderChecker()
+	var sink detect.Sink
+	free, _ := c.Commit(&sink, 1, CommitInfo{PC: 0, RawInst: isa.Inst{Op: isa.OpNop}})
+	if free != rename.None {
+		t.Errorf("freed %d for a NOP, want None", free)
+	}
+}
+
+// Simulate the full BlackJack rename pipeline on an issue-order stream with
+// overlapping live ranges of one logical register, and verify the checker
+// accepts it. This is the core correctness property of Section 4.3.1/4.4.
+func TestDoubleRenamePlusCheckerOnOverlappingLiveRanges(t *testing.T) {
+	// Program (program order), all writing/reading logical r1:
+	//   pc0: addi r1, r0, 1     (leading: P10)
+	//   pc1: addi r2, r1, 1     (leading: P11, reads P10)
+	//   pc2: addi r1, r0, 2     (leading: P12)   <- new live range of r1
+	//   pc3: addi r3, r1, 1     (leading: P13, reads P12)
+	// Leading issue order co-issues pc0 and pc2 (independent), then pc1, pc3:
+	// issue order = pc0, pc2, pc1, pc3 — live ranges of r1 overlap.
+	d := NewDoubleRename(32)
+	c := NewOrderChecker()
+	var sink detect.Sink
+
+	// Initial state: r0->T0 for both tables (leading r0 is P0).
+	d.Seed(0, 0)
+	c.Seed(isa.ZeroReg, 0)
+	c.Seed(isa.IntReg(1), 1) // arch r1 initially T1 (leading P1)
+	d.Seed(1, 1)
+	c.Seed(isa.IntReg(2), 2)
+	d.Seed(2, 2)
+	c.Seed(isa.IntReg(3), 3)
+	d.Seed(3, 3)
+
+	type tuop struct {
+		pc           int
+		raw          isa.Inst
+		leadSrc      rename.PhysReg
+		leadDest     rename.PhysReg
+		trailP       rename.PhysReg // allocated trailing dest
+		psrc1, pdest rename.PhysReg // filled by "rename"
+	}
+	uops := map[int]*tuop{
+		0: {pc: 0, raw: isa.Inst{Op: isa.OpAddi, Rd: 1, Rs1: 0, Imm: 1}, leadSrc: 0, leadDest: 10, trailP: 20},
+		1: {pc: 1, raw: isa.Inst{Op: isa.OpAddi, Rd: 2, Rs1: 1, Imm: 1}, leadSrc: 10, leadDest: 11, trailP: 21},
+		2: {pc: 2, raw: isa.Inst{Op: isa.OpAddi, Rd: 1, Rs1: 0, Imm: 2}, leadSrc: 0, leadDest: 12, trailP: 22},
+		3: {pc: 3, raw: isa.Inst{Op: isa.OpAddi, Rd: 3, Rs1: 1, Imm: 1}, leadSrc: 12, leadDest: 13, trailP: 23},
+	}
+	// Trailing rename in leading issue order: pc0, pc2, pc1, pc3.
+	for _, pc := range []int{0, 2, 1, 3} {
+		u := uops[pc]
+		p, ok := d.Lookup(u.leadSrc)
+		if !ok {
+			t.Fatalf("pc %d: no double-rename mapping for leading P%d", pc, u.leadSrc)
+		}
+		u.psrc1 = p
+		u.pdest = u.trailP
+		d.Bind(u.leadDest, u.trailP)
+	}
+	// Trailing commit in program order: pc0..pc3.
+	for _, pc := range []int{0, 1, 2, 3} {
+		u := uops[pc]
+		if _, ok := c.Commit(&sink, int64(pc), CommitInfo{
+			PC: u.pc, RawInst: u.raw, PSrc1: u.psrc1, PDest: u.pdest,
+		}); !ok {
+			t.Fatalf("pc %d failed checks: %v", pc, sink.Events())
+		}
+	}
+	// pc1 must have read pc0's value (T20), not pc2's (T22).
+	if uops[1].psrc1 != 20 {
+		t.Errorf("pc1 read T%d, want T20", uops[1].psrc1)
+	}
+	if uops[3].psrc1 != 22 {
+		t.Errorf("pc3 read T%d, want T22", uops[3].psrc1)
+	}
+}

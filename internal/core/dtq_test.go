@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"blackjack/internal/isa"
+)
+
+func TestDTQAllocateAndHeadPacket(t *testing.T) {
+	q := NewDTQ(16)
+	if q.Free() != 16 {
+		t.Fatalf("Free = %d, want 16", q.Free())
+	}
+	// Packet 0: seqs 1,2; packet 1: seq 3.
+	for _, e := range []*Entry{
+		{Seq: 1, PacketID: 0},
+		{Seq: 2, PacketID: 0},
+		{Seq: 3, PacketID: 1},
+	} {
+		if !q.Allocate(e) {
+			t.Fatalf("Allocate(%d) failed", e.Seq)
+		}
+	}
+	if pkt := q.HeadPacket(); pkt != nil {
+		t.Errorf("HeadPacket before commit = %v, want nil", pkt)
+	}
+	q.MarkCommitted(1, 0, 0, 0, 0, false)
+	if pkt := q.HeadPacket(); pkt != nil {
+		t.Error("HeadPacket with partially committed packet should be nil")
+	}
+	q.MarkCommitted(2, 1, 0, 0, 0, false)
+	pkt := q.HeadPacket()
+	if len(pkt) != 2 || pkt[0].Seq != 1 || pkt[1].Seq != 2 {
+		t.Fatalf("HeadPacket = %v, want seqs [1 2]", pkt)
+	}
+	q.PopPacket(len(pkt))
+	if q.Len() != 1 {
+		t.Errorf("Len after pop = %d, want 1", q.Len())
+	}
+	// Remaining packet 1 becomes head once committed.
+	q.MarkCommitted(3, 2, 0, 0, 0, false)
+	pkt = q.HeadPacket()
+	if len(pkt) != 1 || pkt[0].Seq != 3 {
+		t.Errorf("HeadPacket = %v, want seq [3]", pkt)
+	}
+}
+
+func TestDTQCommitRecordsProgramOrderInfo(t *testing.T) {
+	q := NewDTQ(4)
+	q.Allocate(&Entry{Seq: 5, PacketID: 0})
+	if !q.MarkCommitted(5, 10, 3, 2, 1, true) {
+		t.Fatal("MarkCommitted failed")
+	}
+	e := q.HeadPacket()[0]
+	if e.VirtAL != 10 || e.VirtLSQ != 3 || e.LoadSeq != 2 || e.StoreSeq != 1 || !e.Halt {
+		t.Errorf("entry = %+v", e)
+	}
+	if q.MarkCommitted(99, 0, 0, 0, 0, false) {
+		t.Error("MarkCommitted for unknown seq succeeded")
+	}
+}
+
+func TestDTQSquashYounger(t *testing.T) {
+	q := NewDTQ(8)
+	for seq := uint64(1); seq <= 5; seq++ {
+		q.Allocate(&Entry{Seq: seq, PacketID: seq / 2})
+	}
+	if n := q.SquashYounger(3); n != 2 {
+		t.Errorf("squashed %d, want 2", n)
+	}
+	if q.Len() != 3 {
+		t.Errorf("Len = %d, want 3", q.Len())
+	}
+	// Squashed entries must also leave the index.
+	if q.MarkCommitted(5, 0, 0, 0, 0, false) {
+		t.Error("squashed entry still committable")
+	}
+	if !q.MarkCommitted(3, 0, 0, 0, 0, false) {
+		t.Error("surviving entry not committable")
+	}
+}
+
+func TestDTQFullRejectsAllocate(t *testing.T) {
+	q := NewDTQ(2)
+	q.Allocate(&Entry{Seq: 1})
+	q.Allocate(&Entry{Seq: 2})
+	if q.Allocate(&Entry{Seq: 3}) {
+		t.Error("Allocate into full DTQ succeeded")
+	}
+	if q.Free() != 0 {
+		t.Errorf("Free = %d, want 0", q.Free())
+	}
+}
+
+func TestDTQPacketBoundaryRespectedAfterSquash(t *testing.T) {
+	// A packet that loses members to a squash still forms a (smaller) head
+	// packet from its survivors.
+	q := NewDTQ(8)
+	q.Allocate(&Entry{Seq: 1, PacketID: 7})
+	q.Allocate(&Entry{Seq: 4, PacketID: 7})
+	q.Allocate(&Entry{Seq: 2, PacketID: 8})
+	q.SquashYounger(2) // removes seq 4
+	q.MarkCommitted(1, 0, 0, 0, 0, false)
+	q.MarkCommitted(2, 1, 0, 0, 0, false)
+	pkt := q.HeadPacket()
+	if len(pkt) != 1 || pkt[0].Seq != 1 {
+		t.Errorf("HeadPacket = %v, want surviving seq [1]", pkt)
+	}
+	_ = isa.Inst{}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"blackjack/internal/isa"
+	"blackjack/internal/rename"
+)
+
+// CanMerge reports whether two adjacent committed packets may be combined
+// into one trailing fetch packet. The paper's simple greedy shuffle treats
+// every pair of leading packets as potentially dependent; Section 6.2 points
+// out that the dependence information needed to do better is already in the
+// DTQ. Merging is safe when no register name flows between the packets in
+// either direction:
+//
+//   - no instruction of b sources a destination of a (true dependence:
+//     co-issuing them would violate it);
+//   - no destination of b collides with a source or destination of a (the
+//     trailing double rename binds leading physical names in slot order
+//     after a merge, so any overlap could bind or look up names in the
+//     wrong order).
+//
+// With disjoint register sets, slot order within the merged packet is
+// immaterial — exactly the property safe-shuffle needs.
+func CanMerge(a, b []*Entry) bool {
+	aDefs := make(map[rename.PhysReg]struct{}, len(a))
+	aUses := make(map[rename.PhysReg]struct{}, 2*len(a))
+	for _, e := range a {
+		if e.PDest != rename.None {
+			aDefs[e.PDest] = struct{}{}
+		}
+		for _, p := range [2]rename.PhysReg{e.PSrc1, e.PSrc2} {
+			if p != rename.None {
+				aUses[p] = struct{}{}
+			}
+		}
+	}
+	for _, e := range b {
+		for _, p := range [2]rename.PhysReg{e.PSrc1, e.PSrc2} {
+			if p == rename.None {
+				continue
+			}
+			if _, dep := aDefs[p]; dep {
+				return false
+			}
+		}
+		if e.PDest == rename.None {
+			continue
+		}
+		if _, clash := aDefs[e.PDest]; clash {
+			return false
+		}
+		if _, clash := aUses[e.PDest]; clash {
+			return false
+		}
+	}
+	return true
+}
+
+// MergeBudget reports whether the combined packet still fits the machine:
+// total instructions within the fetch width and no unit class oversubscribed
+// (a merged packet that cannot co-issue whole would split at issue and lose
+// the merge's entire benefit).
+func MergeBudget(a, b []*Entry, width int, units [isa.NumUnitClasses]int) bool {
+	if len(a)+len(b) > width {
+		return false
+	}
+	var perClass [isa.NumUnitClasses]int
+	for _, e := range a {
+		perClass[e.Class]++
+	}
+	for _, e := range b {
+		perClass[e.Class]++
+	}
+	for cls, n := range perClass {
+		if n > units[cls] {
+			return false
+		}
+	}
+	return true
+}

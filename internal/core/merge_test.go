@@ -1,0 +1,95 @@
+package core
+
+import (
+	"testing"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/rename"
+)
+
+func mkEntry(seq uint64, class isa.UnitClass, s1, s2, d rename.PhysReg) *Entry {
+	return &Entry{Seq: seq, Class: class, PSrc1: s1, PSrc2: s2, PDest: d}
+}
+
+func TestCanMergeIndependentPackets(t *testing.T) {
+	a := []*Entry{mkEntry(1, isa.UnitIntALU, 10, 11, 12)}
+	b := []*Entry{mkEntry(2, isa.UnitIntALU, 20, 21, 22)}
+	if !CanMerge(a, b) {
+		t.Error("register-disjoint packets must merge")
+	}
+}
+
+func TestCanMergeRejectsTrueDependence(t *testing.T) {
+	a := []*Entry{mkEntry(1, isa.UnitIntALU, 10, 11, 12)}
+	b := []*Entry{mkEntry(2, isa.UnitIntALU, 12, 21, 22)} // reads a's dest
+	if CanMerge(a, b) {
+		t.Error("dependent packets merged")
+	}
+}
+
+func TestCanMergeRejectsDestCollision(t *testing.T) {
+	a := []*Entry{mkEntry(1, isa.UnitIntALU, 10, 11, 12)}
+	b := []*Entry{mkEntry(2, isa.UnitIntALU, 20, 21, 12)} // rebinds a's dest
+	if CanMerge(a, b) {
+		t.Error("dest-colliding packets merged")
+	}
+}
+
+func TestCanMergeRejectsAntiDependence(t *testing.T) {
+	a := []*Entry{mkEntry(1, isa.UnitIntALU, 10, 11, 12)}
+	b := []*Entry{mkEntry(2, isa.UnitIntALU, 20, 21, 10)} // rebinds a's source
+	if CanMerge(a, b) {
+		t.Error("anti-dependent packets merged; double-rename order would matter")
+	}
+}
+
+func TestCanMergeIgnoresNoneRegs(t *testing.T) {
+	a := []*Entry{mkEntry(1, isa.UnitIntALU, rename.None, rename.None, rename.None)}
+	b := []*Entry{mkEntry(2, isa.UnitMem, rename.None, 5, rename.None)}
+	if !CanMerge(a, b) {
+		t.Error("packets with absent operands must merge")
+	}
+}
+
+func TestMergeBudget(t *testing.T) {
+	units := table1Units()
+	two := []*Entry{
+		mkEntry(1, isa.UnitMem, 1, 2, 3),
+		mkEntry(2, isa.UnitMem, 4, 5, 6),
+	}
+	one := []*Entry{mkEntry(3, isa.UnitMem, 7, 8, 9)}
+	if MergeBudget(two, one, 4, units) {
+		t.Error("three mem ops on two ports accepted")
+	}
+	alu := []*Entry{mkEntry(4, isa.UnitIntALU, 7, 8, 9)}
+	if !MergeBudget(two, alu, 4, units) {
+		t.Error("two mem + one ALU rejected")
+	}
+	wide := []*Entry{
+		mkEntry(5, isa.UnitIntALU, 0, 0, 0), mkEntry(6, isa.UnitIntALU, 0, 0, 0),
+		mkEntry(7, isa.UnitIntALU, 0, 0, 0),
+	}
+	if MergeBudget(two, wide, 4, units) {
+		t.Error("five instructions in a 4-wide packet accepted")
+	}
+}
+
+func TestHeadPacketsStopsAtUncommitted(t *testing.T) {
+	q := NewDTQ(16)
+	q.Allocate(&Entry{Seq: 1, PacketID: 1})
+	q.Allocate(&Entry{Seq: 2, PacketID: 2})
+	q.Allocate(&Entry{Seq: 3, PacketID: 3})
+	q.MarkCommitted(1, 0, 0, 0, 0, false)
+	q.MarkCommitted(2, 1, 0, 0, 0, false)
+	pkts := q.HeadPackets(3)
+	if len(pkts) != 2 {
+		t.Fatalf("packets = %d, want 2 (third uncommitted)", len(pkts))
+	}
+	if pkts[0][0].Seq != 1 || pkts[1][0].Seq != 2 {
+		t.Error("wrong packet contents")
+	}
+	q.MarkCommitted(3, 2, 0, 0, 0, false)
+	if got := q.HeadPackets(2); len(got) != 2 {
+		t.Errorf("limit not respected: %d", len(got))
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blackjack/internal/plot"
+)
+
+// Figure4aChart renders Figure 4a (total coverage) as an SVG bar chart with
+// the paper's white-SRT / black-BlackJack styling.
+func (s *Suite) Figure4aChart() *plot.BarChart {
+	total, _ := s.Figure4()
+	return coverageChart("Figure 4a: Hard-error instruction coverage, entire pipeline", total)
+}
+
+// Figure4bChart renders Figure 4b (backend-only coverage).
+func (s *Suite) Figure4bChart() *plot.BarChart {
+	_, backend := s.Figure4()
+	return coverageChart("Figure 4b: Hard-error instruction coverage, backend only", backend)
+}
+
+func coverageChart(title string, rows []Fig4Row) *plot.BarChart {
+	cats := make([]string, len(rows))
+	srt := make([]float64, len(rows))
+	bj := make([]float64, len(rows))
+	for i, r := range rows {
+		cats[i] = r.Benchmark
+		srt[i] = 100 * r.SRT
+		bj[i] = 100 * r.BlackJack
+	}
+	return &plot.BarChart{
+		Title:      title,
+		YLabel:     "Instruction Coverage (%)",
+		Categories: cats,
+		Series: []plot.Series{
+			{Name: "SRT", Values: srt, Color: "#f0f0f0"},
+			{Name: "BlackJack", Values: bj, Color: "#1a1a1a"},
+		},
+		YMax: 100,
+	}
+}
+
+// Figure5Chart renders Figure 5 (interference breakdown).
+func (s *Suite) Figure5Chart() *plot.BarChart {
+	rows := s.Figure5()
+	cats := make([]string, len(rows))
+	tt := make([]float64, len(rows))
+	lt := make([]float64, len(rows))
+	for i, r := range rows {
+		cats[i] = r.Benchmark
+		tt[i] = 100 * r.TT
+		lt[i] = 100 * r.LT
+	}
+	return &plot.BarChart{
+		Title:      "Figure 5: Issue cycles with interference violating spatial diversity",
+		YLabel:     "Percent Issue Cycles (%)",
+		Categories: cats,
+		Series: []plot.Series{
+			{Name: "Trailing-trailing", Values: tt, Color: "#f0f0f0"},
+			{Name: "Leading-trailing", Values: lt, Color: "#1a1a1a"},
+		},
+	}
+}
+
+// Figure6Chart renders Figure 6 (single-context issue cycles).
+func (s *Suite) Figure6Chart() *plot.BarChart {
+	rows := s.Figure6()
+	cats := make([]string, len(rows))
+	vals := make([]float64, len(rows))
+	for i, r := range rows {
+		cats[i] = r.Benchmark
+		vals[i] = 100 * r.SingleCtx
+	}
+	return &plot.BarChart{
+		Title:      "Figure 6: Issue cycles with all instructions from one context",
+		YLabel:     "Percent Issue Cycles (%)",
+		Categories: cats,
+		Series:     []plot.Series{{Name: "Single context", Values: vals, Color: "#6baed6"}},
+		YMax:       100,
+	}
+}
+
+// Figure7Chart renders Figure 7 (normalized performance).
+func (s *Suite) Figure7Chart() *plot.BarChart {
+	rows := s.Figure7()
+	cats := make([]string, len(rows))
+	srt := make([]float64, len(rows))
+	ns := make([]float64, len(rows))
+	bj := make([]float64, len(rows))
+	for i, r := range rows {
+		cats[i] = r.Benchmark
+		srt[i] = 100 * r.SRT
+		ns[i] = 100 * r.BlackJackNS
+		bj[i] = 100 * r.BlackJack
+	}
+	return &plot.BarChart{
+		Title:      "Figure 7: Performance of SRT, BlackJack-NS and BlackJack (normalized to single thread)",
+		YLabel:     "Normalized Performance (%)",
+		Categories: cats,
+		Series: []plot.Series{
+			{Name: "SRT", Values: srt, Color: "#f0f0f0"},
+			{Name: "BlackJack-NS", Values: ns, Color: "#969696"},
+			{Name: "BlackJack", Values: bj, Color: "#1a1a1a"},
+		},
+		YMax: 100,
+	}
+}
+
+// WriteSVGs renders every figure chart into dir (created if missing) and
+// returns the written paths.
+func (s *Suite) WriteSVGs(dir string) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	charts := map[string]*plot.BarChart{
+		"fig4a.svg": s.Figure4aChart(),
+		"fig4b.svg": s.Figure4bChart(),
+		"fig5.svg":  s.Figure5Chart(),
+		"fig6.svg":  s.Figure6Chart(),
+		"fig7.svg":  s.Figure7Chart(),
+	}
+	var paths []string
+	for name, c := range charts {
+		svg, err := c.SVG()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", name, err)
+		}
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(svg), 0o644); err != nil {
+			return nil, fmt.Errorf("experiments: %w", err)
+		}
+		paths = append(paths, p)
+	}
+	return paths, nil
+}

@@ -1,0 +1,304 @@
+// Package fault models hard (permanent) defects as deterministic corruption
+// bound to one physical resource, implementing the pipeline's Injector
+// surface. A fault fires every time (or — for state-dependent defects — every
+// time a trigger pattern matches) a value flows through the faulty resource:
+//
+//   - a frontend way corrupts the decode of any instruction processed on it;
+//   - a backend way corrupts results (or addresses, or branch directions)
+//     computed on it;
+//   - an issue-queue payload-RAM entry corrupts the instruction read at
+//     issue — shared between threads, or per-thread when the machine has
+//     split payload RAMs (Section 4.5 of the paper);
+//   - a physical register corrupts every read of that register.
+//
+// This is exactly the paper's threat: a defect that escaped testing, possibly
+// exercised only by specific machine state, silently corrupting data unless a
+// redundancy check catches the divergence.
+package fault
+
+import (
+	"fmt"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/rename"
+)
+
+// Class locates the kind of resource a fault lives in.
+type Class uint8
+
+// Fault site classes.
+const (
+	// FrontendWay corrupts instruction decode on one frontend way.
+	FrontendWay Class = iota
+	// BackendWay corrupts values computed on one backend way.
+	BackendWay
+	// PayloadRAM corrupts the instruction payload read from one issue-queue
+	// slot.
+	PayloadRAM
+	// RegisterFile corrupts reads of one physical register.
+	RegisterFile
+
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	FrontendWay: "frontend-way", BackendWay: "backend-way",
+	PayloadRAM: "payload-ram", RegisterFile: "register-file",
+}
+
+// String names the class.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", uint8(c))
+}
+
+// DecodeField selects which decoded field a frontend/payload fault corrupts.
+type DecodeField uint8
+
+// Decode corruption targets.
+const (
+	FieldRs1 DecodeField = iota // flips the low bit of Rs1
+	FieldRs2                    // flips the low bit of Rs2
+	FieldRd                     // flips the low bit of Rd
+	FieldImm                    // XORs BitMask into the immediate
+	FieldOp                     // perturbs the opcode (stays decodable)
+	NumDecodeFields
+)
+
+// Site is one hard fault.
+type Site struct {
+	Class Class
+
+	// BackendWay coordinates.
+	Unit isa.UnitClass
+	Way  int // frontend or backend way index
+
+	// PayloadRAM coordinates. Thread selects the RAM copy when the machine
+	// has split payload RAMs; with a shared RAM it is ignored.
+	Slot   int
+	Thread int
+
+	// RegisterFile coordinate.
+	Reg rename.PhysReg
+
+	// BitMask is XORed into corrupted data values (result, register read,
+	// address, immediate). Zero defaults to bit 0.
+	BitMask uint64
+	// Field selects the decode corruption for FrontendWay/PayloadRAM sites.
+	Field DecodeField
+	// FlipBranch makes a BackendWay site invert branch directions computed
+	// on the way (in addition to value corruption).
+	FlipBranch bool
+	// CorruptAddr makes a BackendWay site corrupt effective addresses
+	// instead of data values.
+	CorruptAddr bool
+
+	// TriggerMask/TriggerValue gate the fault on operand state: corruption
+	// fires only when value&TriggerMask == TriggerValue. A zero mask fires
+	// always. This models defects "exercised by very specific machine
+	// state" (Section 1) — present in silicon but latent for most inputs.
+	TriggerMask  uint64
+	TriggerValue uint64
+
+	// Transient makes the fault a soft error: it corrupts exactly one use of
+	// the resource (the FireAt-th eligible one; 0 means the first) and then
+	// disappears. SRT's temporal redundancy suffices for these — BlackJack
+	// inherits that coverage (Section 1: the technique detects soft errors
+	// in addition to hard ones).
+	Transient bool
+	// FireAt selects which eligible use a transient corrupts (1-based; 0
+	// means 1).
+	FireAt uint64
+}
+
+// String describes the site.
+func (s Site) String() string {
+	switch s.Class {
+	case FrontendWay:
+		return fmt.Sprintf("frontend-way %d (field %d)", s.Way, s.Field)
+	case BackendWay:
+		kind := "value"
+		if s.CorruptAddr {
+			kind = "addr"
+		}
+		if s.FlipBranch {
+			kind = "branch"
+		}
+		return fmt.Sprintf("backend-way %v/%d (%s)", s.Unit, s.Way, kind)
+	case PayloadRAM:
+		return fmt.Sprintf("payload-ram slot %d thread %d (field %d)", s.Slot, s.Thread, s.Field)
+	case RegisterFile:
+		return fmt.Sprintf("register p%d", s.Reg)
+	default:
+		return "unknown fault site"
+	}
+}
+
+func (s Site) mask() uint64 {
+	if s.BitMask == 0 {
+		return 1
+	}
+	return s.BitMask
+}
+
+func (s Site) triggered(v uint64) bool {
+	return v&s.TriggerMask == s.TriggerValue&s.TriggerMask
+}
+
+// corruptInst applies the site's decode corruption.
+func (s Site) corruptInst(in isa.Inst) isa.Inst {
+	switch s.Field {
+	case FieldRs1:
+		in.Rs1 = (in.Rs1 ^ 1) % isa.NumArchRegs
+	case FieldRs2:
+		in.Rs2 = (in.Rs2 ^ 1) % isa.NumArchRegs
+	case FieldRd:
+		in.Rd = (in.Rd ^ 1) % isa.NumArchRegs
+	case FieldImm:
+		in.Imm ^= int64(s.mask())
+	case FieldOp:
+		in.Op = isa.Op((uint8(in.Op) + 1) % uint8(isa.NumOps))
+	}
+	return in
+}
+
+// Injector implements the pipeline's fault surface for a set of sites.
+// SplitPayload models the paper's fix for the payload-RAM vulnerability
+// (separate per-thread payload RAMs): a PayloadRAM site then only affects its
+// own thread's copy.
+type Injector struct {
+	Sites        []Site
+	SplitPayload bool
+
+	// Now, when set, supplies the current cycle so the injector can record
+	// when the fault first activated (for detection-latency measurements).
+	Now func() int64
+
+	activations uint64
+	firstAct    int64
+	hasFirst    bool
+	uses        []uint64 // per-site eligible-use counts (for transients)
+}
+
+// Activations returns how many times any site actually changed a value.
+func (inj *Injector) Activations() uint64 { return inj.activations }
+
+// FirstActivation returns the cycle of the first activation; ok is false
+// when the fault never activated or no clock was attached.
+func (inj *Injector) FirstActivation() (int64, bool) { return inj.firstAct, inj.hasFirst }
+
+// activate counts one corruption and stamps the first-activation cycle.
+func (inj *Injector) activate() {
+	inj.activations++
+	if !inj.hasFirst && inj.Now != nil {
+		inj.firstAct = inj.Now()
+		inj.hasFirst = true
+	}
+}
+
+// fires decides whether site i corrupts this eligible use, accounting for
+// transient (one-shot) semantics.
+func (inj *Injector) fires(i int) bool {
+	s := &inj.Sites[i]
+	if !s.Transient {
+		return true
+	}
+	if inj.uses == nil {
+		inj.uses = make([]uint64, len(inj.Sites))
+	}
+	inj.uses[i]++
+	at := s.FireAt
+	if at == 0 {
+		at = 1
+	}
+	return inj.uses[i] == at
+}
+
+// CorruptDecode implements pipeline.Injector.
+func (inj *Injector) CorruptDecode(way int, in isa.Inst) isa.Inst {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class == FrontendWay && s.Way == way && s.triggered(uint64(in.Imm)) && inj.fires(i) {
+			out := s.corruptInst(in)
+			if out != in {
+				inj.activate()
+			}
+			in = out
+		}
+	}
+	return in
+}
+
+// CorruptPayload implements pipeline.Injector.
+func (inj *Injector) CorruptPayload(slot, thread int, in isa.Inst) isa.Inst {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class != PayloadRAM || s.Slot != slot {
+			continue
+		}
+		if inj.SplitPayload && s.Thread != thread {
+			continue
+		}
+		if !inj.fires(i) {
+			continue
+		}
+		out := s.corruptInst(in)
+		if out != in {
+			inj.activate()
+		}
+		in = out
+	}
+	return in
+}
+
+// CorruptResult implements pipeline.Injector.
+func (inj *Injector) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint64) uint64 {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
+			!s.CorruptAddr && !s.FlipBranch && s.triggered(v) && inj.fires(i) {
+			v ^= s.mask()
+			inj.activate()
+		}
+	}
+	return v
+}
+
+// CorruptAddr implements pipeline.Injector.
+func (inj *Injector) CorruptAddr(class isa.UnitClass, way int, addr uint64) uint64 {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
+			s.CorruptAddr && s.triggered(addr) && inj.fires(i) {
+			addr ^= s.mask() << 3 // flip an (aligned) address bit
+			inj.activate()
+		}
+	}
+	return addr
+}
+
+// CorruptBranch implements pipeline.Injector.
+func (inj *Injector) CorruptBranch(class isa.UnitClass, way int, taken bool) bool {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way && s.FlipBranch && inj.fires(i) {
+			taken = !taken
+			inj.activate()
+		}
+	}
+	return taken
+}
+
+// CorruptRegRead implements pipeline.Injector.
+func (inj *Injector) CorruptRegRead(p rename.PhysReg, v uint64) uint64 {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class == RegisterFile && s.Reg == p && s.triggered(v) && inj.fires(i) {
+			v ^= s.mask()
+			inj.activate()
+		}
+	}
+	return v
+}

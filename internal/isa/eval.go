@@ -1,0 +1,116 @@
+package isa
+
+import "math"
+
+// Outcome is the architectural effect of executing one instruction with the
+// given operand values. It is produced by Eval, which is pure: the cycle-level
+// pipeline and the golden-model emulator share it, so any divergence between
+// them is a pipeline bug (or an injected fault), never a semantics mismatch.
+type Outcome struct {
+	// Value is the result written to Rd for register-writing, non-load
+	// instructions. For loads it is undefined (the memory system supplies
+	// the value).
+	Value uint64
+	// Addr is the effective byte address for memory instructions.
+	Addr uint64
+	// StoreValue is the value a store writes to memory.
+	StoreValue uint64
+	// Taken reports whether a branch is taken.
+	Taken bool
+	// Target is the absolute instruction index a taken branch transfers to.
+	Target int
+}
+
+// Eval computes the architectural outcome of in given its source operand
+// values v1 (Rs1) and v2 (Rs2). Floating-point operands are float64 bit
+// patterns. Division by zero cannot occur: integer divisors are forced odd
+// and FP division follows IEEE-754 (yielding ±Inf/NaN), keeping Eval total.
+func Eval(in Inst, v1, v2 uint64) Outcome {
+	var out Outcome
+	switch in.Op {
+	case OpNop, OpHalt:
+	case OpAdd:
+		out.Value = v1 + v2
+	case OpSub:
+		out.Value = v1 - v2
+	case OpAnd:
+		out.Value = v1 & v2
+	case OpOr:
+		out.Value = v1 | v2
+	case OpXor:
+		out.Value = v1 ^ v2
+	case OpShl:
+		out.Value = v1 << (v2 & 63)
+	case OpShr:
+		out.Value = v1 >> (v2 & 63)
+	case OpSlt:
+		if int64(v1) < int64(v2) {
+			out.Value = 1
+		}
+	case OpAddi:
+		out.Value = v1 + uint64(in.Imm)
+	case OpAndi:
+		out.Value = v1 & uint64(in.Imm)
+	case OpOri:
+		out.Value = v1 | uint64(in.Imm)
+	case OpXori:
+		out.Value = v1 ^ uint64(in.Imm)
+	case OpSlti:
+		if int64(v1) < in.Imm {
+			out.Value = 1
+		}
+	case OpLui:
+		out.Value = uint64(in.Imm) << 16
+	case OpMul:
+		out.Value = v1 * v2
+	case OpDiv:
+		out.Value = uint64(int64(v1) / (int64(v2) | 1))
+	case OpRem:
+		out.Value = uint64(int64(v1) % (int64(v2) | 1))
+	case OpFAdd:
+		out.Value = math.Float64bits(math.Float64frombits(v1) + math.Float64frombits(v2))
+	case OpFSub:
+		out.Value = math.Float64bits(math.Float64frombits(v1) - math.Float64frombits(v2))
+	case OpFMul:
+		out.Value = math.Float64bits(math.Float64frombits(v1) * math.Float64frombits(v2))
+	case OpFDiv:
+		out.Value = math.Float64bits(math.Float64frombits(v1) / math.Float64frombits(v2))
+	case OpFNeg:
+		out.Value = math.Float64bits(-math.Float64frombits(v1))
+	case OpCvtIF:
+		out.Value = math.Float64bits(float64(int64(v1)))
+	case OpCvtFI:
+		f := math.Float64frombits(v1)
+		switch {
+		case math.IsNaN(f):
+			out.Value = 0
+		case f >= math.MaxInt64:
+			out.Value = math.MaxInt64
+		case f <= math.MinInt64:
+			out.Value = 1 << 63 // bit pattern of math.MinInt64
+		default:
+			out.Value = uint64(int64(f))
+		}
+	case OpLd, OpFLd:
+		out.Addr = v1 + uint64(in.Imm)
+	case OpSt, OpFSt:
+		out.Addr = v1 + uint64(in.Imm)
+		out.StoreValue = v2
+	case OpBeq:
+		out.Taken = v1 == v2
+		out.Target = int(in.Imm)
+	case OpBne:
+		out.Taken = v1 != v2
+		out.Target = int(in.Imm)
+	case OpBlt:
+		out.Taken = int64(v1) < int64(v2)
+		out.Target = int(in.Imm)
+	case OpBge:
+		out.Taken = int64(v1) >= int64(v2)
+		out.Target = int(in.Imm)
+	case OpJmp:
+		out.Taken = true
+		out.Target = int(in.Imm)
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package isa
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func f64(v float64) uint64 { return math.Float64bits(v) }
+
+func TestEvalIntegerOps(t *testing.T) {
+	tests := []struct {
+		name   string
+		inst   Inst
+		v1, v2 uint64
+		want   uint64
+	}{
+		{"add", Inst{Op: OpAdd}, 3, 4, 7},
+		{"add wraps", Inst{Op: OpAdd}, math.MaxUint64, 1, 0},
+		{"sub", Inst{Op: OpSub}, 10, 4, 6},
+		{"sub negative wraps", Inst{Op: OpSub}, 4, 10, negU64(6)},
+		{"and", Inst{Op: OpAnd}, 0b1100, 0b1010, 0b1000},
+		{"or", Inst{Op: OpOr}, 0b1100, 0b1010, 0b1110},
+		{"xor", Inst{Op: OpXor}, 0b1100, 0b1010, 0b0110},
+		{"shl", Inst{Op: OpShl}, 1, 4, 16},
+		{"shl masks shift amount", Inst{Op: OpShl}, 1, 64, 1},
+		{"shr", Inst{Op: OpShr}, 16, 4, 1},
+		{"slt true", Inst{Op: OpSlt}, negU64(1), 0, 1}, // -1 < 0 signed
+		{"slt false", Inst{Op: OpSlt}, 1, 0, 0},
+		{"addi", Inst{Op: OpAddi, Imm: -3}, 10, 0, 7},
+		{"andi", Inst{Op: OpAndi, Imm: 0xF}, 0x1234, 0, 4},
+		{"ori", Inst{Op: OpOri, Imm: 0xF0}, 0x0F, 0, 0xFF},
+		{"xori", Inst{Op: OpXori, Imm: 0xFF}, 0x0F, 0, 0xF0},
+		{"slti true", Inst{Op: OpSlti, Imm: 5}, 3, 0, 1},
+		{"slti false", Inst{Op: OpSlti, Imm: 5}, 9, 0, 0},
+		{"lui", Inst{Op: OpLui, Imm: 3}, 0, 0, 3 << 16},
+		{"mul", Inst{Op: OpMul}, 7, 6, 42},
+		{"div forces odd divisor", Inst{Op: OpDiv}, 42, 6, 6}, // 42 / (6|1=7) = 6
+		{"div by zero becomes one", Inst{Op: OpDiv}, 42, 0, 42},
+		{"div signed", Inst{Op: OpDiv}, negU64(42), 7, negU64(6)},
+		{"rem", Inst{Op: OpRem}, 43, 6, 1}, // 43 % 7
+		{"rem by zero becomes one", Inst{Op: OpRem}, 42, 0, 0},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Eval(tt.inst, tt.v1, tt.v2)
+			if got.Value != tt.want {
+				t.Errorf("Eval(%v, %d, %d).Value = %d, want %d", tt.inst, tt.v1, tt.v2, got.Value, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalFPOps(t *testing.T) {
+	tests := []struct {
+		name   string
+		inst   Inst
+		v1, v2 uint64
+		want   uint64
+	}{
+		{"fadd", Inst{Op: OpFAdd}, f64(1.5), f64(2.25), f64(3.75)},
+		{"fsub", Inst{Op: OpFSub}, f64(1.5), f64(2.25), f64(-0.75)},
+		{"fmul", Inst{Op: OpFMul}, f64(1.5), f64(2.0), f64(3.0)},
+		{"fdiv", Inst{Op: OpFDiv}, f64(3.0), f64(2.0), f64(1.5)},
+		{"fdiv by zero is +inf", Inst{Op: OpFDiv}, f64(1.0), f64(0.0), f64(math.Inf(1))},
+		{"fneg", Inst{Op: OpFNeg}, f64(2.5), 0, f64(-2.5)},
+		{"cvtif", Inst{Op: OpCvtIF}, negU64(3), 0, f64(-3.0)},
+		{"cvtfi", Inst{Op: OpCvtFI}, f64(-3.9), 0, negU64(3)},
+		{"cvtfi nan is zero", Inst{Op: OpCvtFI}, f64(math.NaN()), 0, 0},
+		{"cvtfi +inf saturates", Inst{Op: OpCvtFI}, f64(math.Inf(1)), 0, uint64(math.MaxInt64)},
+		{"cvtfi -inf saturates", Inst{Op: OpCvtFI}, f64(math.Inf(-1)), 0, 1 << 63},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Eval(tt.inst, tt.v1, tt.v2)
+			if got.Value != tt.want {
+				t.Errorf("Eval(%v).Value = %#x, want %#x", tt.inst, got.Value, tt.want)
+			}
+		})
+	}
+}
+
+func TestEvalMemoryAndBranches(t *testing.T) {
+	ld := Eval(Inst{Op: OpLd, Imm: 16}, 100, 0)
+	if ld.Addr != 116 {
+		t.Errorf("load address = %d, want 116", ld.Addr)
+	}
+	st := Eval(Inst{Op: OpSt, Imm: -8}, 100, 55)
+	if st.Addr != 92 || st.StoreValue != 55 {
+		t.Errorf("store = (%d,%d), want (92,55)", st.Addr, st.StoreValue)
+	}
+
+	branches := []struct {
+		name   string
+		inst   Inst
+		v1, v2 uint64
+		taken  bool
+	}{
+		{"beq taken", Inst{Op: OpBeq, Imm: 9}, 5, 5, true},
+		{"beq not taken", Inst{Op: OpBeq, Imm: 9}, 5, 6, false},
+		{"bne taken", Inst{Op: OpBne, Imm: 9}, 5, 6, true},
+		{"blt signed taken", Inst{Op: OpBlt, Imm: 9}, negU64(1), 0, true},
+		{"bge taken on equal", Inst{Op: OpBge, Imm: 9}, 7, 7, true},
+		{"jmp always taken", Inst{Op: OpJmp, Imm: 9}, 0, 0, true},
+	}
+	for _, tt := range branches {
+		t.Run(tt.name, func(t *testing.T) {
+			got := Eval(tt.inst, tt.v1, tt.v2)
+			if got.Taken != tt.taken {
+				t.Errorf("Taken = %v, want %v", got.Taken, tt.taken)
+			}
+			if got.Taken && got.Target != 9 {
+				t.Errorf("Target = %d, want 9", got.Target)
+			}
+		})
+	}
+}
+
+// Eval is a pure function: equal inputs must give equal outputs, for any
+// opcode and operand values, and it must never panic (totality).
+func TestQuickEvalPureAndTotal(t *testing.T) {
+	f := func(opRaw uint8, imm int64, v1, v2 uint64) bool {
+		in := Inst{Op: Op(opRaw % uint8(numOps)), Rd: 1, Rs1: 2, Rs2: 3, Imm: imm}
+		a := Eval(in, v1, v2)
+		b := Eval(in, v1, v2)
+		return a == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// negU64 returns the two's-complement encoding of -x without constant
+// overflow complaints from the compiler.
+func negU64(x uint64) uint64 { return -x }

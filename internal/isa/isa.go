@@ -1,0 +1,278 @@
+// Package isa defines the compact RISC instruction set used by the BlackJack
+// simulator, together with a pure evaluation function shared by the
+// functional (golden-model) emulator and the cycle-level pipeline.
+//
+// The ISA stands in for the Alpha ISA the paper's SimpleScalar setup used:
+// any load/store RISC ISA exercises the same pipeline structures (frontend
+// ways, typed backend ways, load/store queue, branch units), which is all the
+// paper's metrics depend on.
+//
+// Registers are numbered 0..63: 0..31 are integer registers (register 0 is
+// hardwired to zero), 32..63 are floating-point registers holding raw IEEE-754
+// bit patterns. Branch and jump targets are absolute instruction indices; a
+// program is simply a slice of Inst values and the program counter is an index
+// into that slice.
+package isa
+
+import "fmt"
+
+// Reg identifies an architectural register. Values 0..31 address the integer
+// file (R0 reads as zero and ignores writes); values 32..63 address the
+// floating-point file.
+type Reg uint8
+
+// NumIntRegs and friends describe the architectural register space.
+const (
+	NumIntRegs  = 32
+	NumFPRegs   = 32
+	NumArchRegs = NumIntRegs + NumFPRegs
+
+	// ZeroReg is the hardwired-zero integer register.
+	ZeroReg Reg = 0
+)
+
+// IntReg returns the Reg naming integer register i.
+func IntReg(i int) Reg { return Reg(i) }
+
+// FPReg returns the Reg naming floating-point register i.
+func FPReg(i int) Reg { return Reg(NumIntRegs + i) }
+
+// IsFP reports whether r names a floating-point register.
+func (r Reg) IsFP() bool { return r >= NumIntRegs }
+
+// String renders the register in assembly style (r7, f3).
+func (r Reg) String() string {
+	if r.IsFP() {
+		return fmt.Sprintf("f%d", int(r)-NumIntRegs)
+	}
+	return fmt.Sprintf("r%d", int(r))
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. The mix covers every backend unit class in Table 1 of the
+// paper: integer ALUs, integer multipliers, integer dividers, FP ALUs and FP
+// multipliers, plus memory ports and (ALU-executed) branches.
+const (
+	OpNop Op = iota
+
+	// Integer ALU (1 cycle).
+	OpAdd  // rd = rs1 + rs2
+	OpSub  // rd = rs1 - rs2
+	OpAnd  // rd = rs1 & rs2
+	OpOr   // rd = rs1 | rs2
+	OpXor  // rd = rs1 ^ rs2
+	OpShl  // rd = rs1 << (rs2 & 63)
+	OpShr  // rd = rs1 >> (rs2 & 63)
+	OpSlt  // rd = (int64(rs1) < int64(rs2)) ? 1 : 0
+	OpAddi // rd = rs1 + imm
+	OpAndi // rd = rs1 & imm
+	OpOri  // rd = rs1 | imm
+	OpXori // rd = rs1 ^ imm
+	OpSlti // rd = (int64(rs1) < imm) ? 1 : 0
+	OpLui  // rd = imm << 16
+
+	// Integer multiply / divide.
+	OpMul // rd = rs1 * rs2
+	OpDiv // rd = int64(rs1) / (int64(rs2)|1)   (divisor forced odd: total function)
+	OpRem // rd = int64(rs1) % (int64(rs2)|1)
+
+	// Floating point (operands/results are float64 bit patterns).
+	OpFAdd  // rd = rs1 +. rs2
+	OpFSub  // rd = rs1 -. rs2
+	OpFMul  // rd = rs1 *. rs2
+	OpFDiv  // rd = rs1 /. rs2 (executes on an FP multiplier way)
+	OpFNeg  // rd = -. rs1
+	OpCvtIF // rd = float64(int64(rs1)) bits (int source register)
+	OpCvtFI // rd = uint64(int64(float64 rs1)) (FP source register, int dest)
+
+	// Memory (2 ports; loads hit in L1 in 2 cycles).
+	OpLd  // rd  = mem64[rs1 + imm]       (integer destination)
+	OpSt  // mem64[rs1 + imm] = rs2       (integer source)
+	OpFLd // fd  = mem64[rs1 + imm]       (FP destination)
+	OpFSt // mem64[rs1 + imm] = fs2       (FP source)
+
+	// Control (execute on integer ALU ways).
+	OpBeq // if rs1 == rs2: pc = imm
+	OpBne // if rs1 != rs2: pc = imm
+	OpBlt // if int64(rs1) < int64(rs2): pc = imm
+	OpBge // if int64(rs1) >= int64(rs2): pc = imm
+	OpJmp // pc = imm
+
+	OpHalt // stop the program
+
+	numOps // sentinel
+)
+
+var opNames = [numOps]string{
+	OpNop: "nop", OpAdd: "add", OpSub: "sub", OpAnd: "and", OpOr: "or",
+	OpXor: "xor", OpShl: "shl", OpShr: "shr", OpSlt: "slt", OpAddi: "addi",
+	OpAndi: "andi", OpOri: "ori", OpXori: "xori", OpSlti: "slti", OpLui: "lui",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpFAdd: "fadd", OpFSub: "fsub", OpFMul: "fmul", OpFDiv: "fdiv",
+	OpFNeg: "fneg", OpCvtIF: "cvtif", OpCvtFI: "cvtfi",
+	OpLd: "ld", OpSt: "st", OpFLd: "fld", OpFSt: "fst",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpJmp: "jmp",
+	OpHalt: "halt",
+}
+
+// String returns the mnemonic for the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// NumOps is the number of defined opcodes (useful for fault models that
+// perturb opcodes while keeping them decodable).
+const NumOps = int(numOps)
+
+// UnitClass identifies the class of backend way an instruction executes on.
+// Counts per class come from Table 1 of the paper.
+type UnitClass uint8
+
+// Backend unit classes.
+const (
+	UnitIntALU UnitClass = iota // 4 ways; also executes branches and NOPs
+	UnitIntMul                  // 2 ways
+	UnitIntDiv                  // 2 ways
+	UnitFPALU                   // 2 ways
+	UnitFPMul                   // 2 ways; also executes FP divide
+	UnitMem                     // 2 ways (cache ports / AGUs)
+	NumUnitClasses
+)
+
+var unitNames = [NumUnitClasses]string{
+	UnitIntALU: "intALU", UnitIntMul: "intMul", UnitIntDiv: "intDiv",
+	UnitFPALU: "fpALU", UnitFPMul: "fpMul", UnitMem: "mem",
+}
+
+// String returns a short name for the unit class.
+func (u UnitClass) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return fmt.Sprintf("unit(%d)", uint8(u))
+}
+
+// Inst is one decoded instruction. Imm doubles as the ALU immediate, the
+// load/store displacement, and the absolute branch/jump target.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// String renders the instruction in a readable assembly-like form.
+func (in Inst) String() string {
+	switch {
+	case in.Op == OpNop || in.Op == OpHalt:
+		return in.Op.String()
+	case in.Op == OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case in.IsBranch():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	case in.IsLoad():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case in.IsStore():
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case in.HasImm():
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	}
+}
+
+// IsBranch reports whether the instruction is a conditional branch or jump.
+func (in Inst) IsBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpJmp:
+		return true
+	}
+	return false
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsCondBranch() bool {
+	switch in.Op {
+	case OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// IsLoad reports whether the instruction reads memory.
+func (in Inst) IsLoad() bool { return in.Op == OpLd || in.Op == OpFLd }
+
+// IsStore reports whether the instruction writes memory.
+func (in Inst) IsStore() bool { return in.Op == OpSt || in.Op == OpFSt }
+
+// IsMem reports whether the instruction accesses memory.
+func (in Inst) IsMem() bool { return in.IsLoad() || in.IsStore() }
+
+// HasImm reports whether the instruction consumes its immediate field as an
+// ALU operand.
+func (in Inst) HasImm() bool {
+	switch in.Op {
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlti, OpLui:
+		return true
+	}
+	return false
+}
+
+// ReadsRs1 reports whether the instruction reads its first source register.
+func (in Inst) ReadsRs1() bool {
+	switch in.Op {
+	case OpNop, OpHalt, OpJmp, OpLui:
+		return false
+	}
+	return true
+}
+
+// ReadsRs2 reports whether the instruction reads its second source register.
+func (in Inst) ReadsRs2() bool {
+	switch in.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpSlt,
+		OpMul, OpDiv, OpRem,
+		OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpSt, OpFSt,
+		OpBeq, OpBne, OpBlt, OpBge:
+		return true
+	}
+	return false
+}
+
+// WritesRd reports whether the instruction writes a destination register.
+// Writes to the integer zero register are architecturally discarded and are
+// treated as not writing at all.
+func (in Inst) WritesRd() bool {
+	switch in.Op {
+	case OpNop, OpHalt, OpSt, OpFSt, OpBeq, OpBne, OpBlt, OpBge, OpJmp:
+		return false
+	}
+	return in.Rd != ZeroReg
+}
+
+// Class returns the backend unit class the instruction executes on. Branches
+// and NOPs execute on integer ALU ways; FP divide shares the FP multiplier
+// ways (the machine has no dedicated FP divider, per Table 1).
+func (in Inst) Class() UnitClass {
+	switch in.Op {
+	case OpMul:
+		return UnitIntMul
+	case OpDiv, OpRem:
+		return UnitIntDiv
+	case OpFAdd, OpFSub, OpFNeg, OpCvtIF, OpCvtFI:
+		return UnitFPALU
+	case OpFMul, OpFDiv:
+		return UnitFPMul
+	case OpLd, OpSt, OpFLd, OpFSt:
+		return UnitMem
+	default:
+		return UnitIntALU
+	}
+}

@@ -1,0 +1,144 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNaming(t *testing.T) {
+	if got := IntReg(7).String(); got != "r7" {
+		t.Errorf("IntReg(7) = %q, want r7", got)
+	}
+	if got := FPReg(3).String(); got != "f3" {
+		t.Errorf("FPReg(3) = %q, want f3", got)
+	}
+	if IntReg(31).IsFP() {
+		t.Error("IntReg(31).IsFP() = true, want false")
+	}
+	if !FPReg(0).IsFP() {
+		t.Error("FPReg(0).IsFP() = false, want true")
+	}
+}
+
+func TestOpStringsAllDefined(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if s := op.String(); s == "" {
+			t.Errorf("op %d has empty name", op)
+		}
+	}
+}
+
+func TestInstructionClassification(t *testing.T) {
+	tests := []struct {
+		name  string
+		inst  Inst
+		class UnitClass
+		load  bool
+		store bool
+		br    bool
+	}{
+		{"add", Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, UnitIntALU, false, false, false},
+		{"mul", Inst{Op: OpMul, Rd: 1, Rs1: 2, Rs2: 3}, UnitIntMul, false, false, false},
+		{"div", Inst{Op: OpDiv, Rd: 1, Rs1: 2, Rs2: 3}, UnitIntDiv, false, false, false},
+		{"rem", Inst{Op: OpRem, Rd: 1, Rs1: 2, Rs2: 3}, UnitIntDiv, false, false, false},
+		{"fadd", Inst{Op: OpFAdd, Rd: FPReg(1), Rs1: FPReg(2), Rs2: FPReg(3)}, UnitFPALU, false, false, false},
+		{"fmul", Inst{Op: OpFMul, Rd: FPReg(1), Rs1: FPReg(2), Rs2: FPReg(3)}, UnitFPMul, false, false, false},
+		{"fdiv shares fpMul ways", Inst{Op: OpFDiv, Rd: FPReg(1), Rs1: FPReg(2), Rs2: FPReg(3)}, UnitFPMul, false, false, false},
+		{"ld", Inst{Op: OpLd, Rd: 1, Rs1: 2}, UnitMem, true, false, false},
+		{"st", Inst{Op: OpSt, Rs1: 2, Rs2: 3}, UnitMem, false, true, false},
+		{"fld", Inst{Op: OpFLd, Rd: FPReg(1), Rs1: 2}, UnitMem, true, false, false},
+		{"fst", Inst{Op: OpFSt, Rs1: 2, Rs2: FPReg(3)}, UnitMem, false, true, false},
+		{"beq on intALU", Inst{Op: OpBeq, Rs1: 1, Rs2: 2, Imm: 0}, UnitIntALU, false, false, true},
+		{"jmp", Inst{Op: OpJmp, Imm: 0}, UnitIntALU, false, false, true},
+		{"nop", Inst{Op: OpNop}, UnitIntALU, false, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.inst.Class(); got != tt.class {
+				t.Errorf("Class() = %v, want %v", got, tt.class)
+			}
+			if got := tt.inst.IsLoad(); got != tt.load {
+				t.Errorf("IsLoad() = %v, want %v", got, tt.load)
+			}
+			if got := tt.inst.IsStore(); got != tt.store {
+				t.Errorf("IsStore() = %v, want %v", got, tt.store)
+			}
+			if got := tt.inst.IsBranch(); got != tt.br {
+				t.Errorf("IsBranch() = %v, want %v", got, tt.br)
+			}
+		})
+	}
+}
+
+func TestOperandMetadata(t *testing.T) {
+	tests := []struct {
+		name                 string
+		inst                 Inst
+		rs1, rs2, rd, hasImm bool
+	}{
+		{"add reads both writes rd", Inst{Op: OpAdd, Rd: 1, Rs1: 2, Rs2: 3}, true, true, true, false},
+		{"addi reads rs1 only", Inst{Op: OpAddi, Rd: 1, Rs1: 2, Imm: 5}, true, false, true, true},
+		{"lui reads nothing", Inst{Op: OpLui, Rd: 1, Imm: 5}, false, false, true, true},
+		{"store reads both writes none", Inst{Op: OpSt, Rs1: 1, Rs2: 2}, true, true, false, false},
+		{"load reads rs1 writes rd", Inst{Op: OpLd, Rd: 1, Rs1: 2}, true, false, true, false},
+		{"branch reads both", Inst{Op: OpBlt, Rs1: 1, Rs2: 2}, true, true, false, false},
+		{"jmp reads nothing", Inst{Op: OpJmp, Imm: 3}, false, false, false, false},
+		{"write to r0 discarded", Inst{Op: OpAdd, Rd: ZeroReg, Rs1: 1, Rs2: 2}, true, true, false, false},
+		{"nop", Inst{Op: OpNop}, false, false, false, false},
+		{"halt", Inst{Op: OpHalt}, false, false, false, false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.inst.ReadsRs1(); got != tt.rs1 {
+				t.Errorf("ReadsRs1() = %v, want %v", got, tt.rs1)
+			}
+			if got := tt.inst.ReadsRs2(); got != tt.rs2 {
+				t.Errorf("ReadsRs2() = %v, want %v", got, tt.rs2)
+			}
+			if got := tt.inst.WritesRd(); got != tt.rd {
+				t.Errorf("WritesRd() = %v, want %v", got, tt.rd)
+			}
+			if got := tt.inst.HasImm(); got != tt.hasImm {
+				t.Errorf("HasImm() = %v, want %v", got, tt.hasImm)
+			}
+		})
+	}
+}
+
+// Every opcode must map to a defined unit class, and only memory ops may map
+// to the memory unit class.
+func TestEveryOpHasConsistentClass(t *testing.T) {
+	for op := Op(0); op < Op(numOps); op++ {
+		in := Inst{Op: op, Rd: 1, Rs1: 2, Rs2: 3}
+		c := in.Class()
+		if c >= NumUnitClasses {
+			t.Errorf("op %v: class %v out of range", op, c)
+		}
+		if (c == UnitMem) != in.IsMem() {
+			t.Errorf("op %v: class %v inconsistent with IsMem()=%v", op, c, in.IsMem())
+		}
+	}
+}
+
+// A store never writes a register; a branch never writes a register; loads
+// always do (unless rd is the zero register). Checked exhaustively over the
+// opcode space via testing/quick-generated register fields.
+func TestQuickMetadataInvariants(t *testing.T) {
+	f := func(opRaw, rd, rs1, rs2 uint8, imm int64) bool {
+		in := Inst{Op: Op(opRaw % uint8(numOps)), Rd: Reg(rd % NumArchRegs),
+			Rs1: Reg(rs1 % NumArchRegs), Rs2: Reg(rs2 % NumArchRegs), Imm: imm}
+		if in.IsStore() && in.WritesRd() {
+			return false
+		}
+		if in.IsBranch() && in.WritesRd() {
+			return false
+		}
+		if in.IsLoad() && in.Rd != ZeroReg && !in.WritesRd() {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}

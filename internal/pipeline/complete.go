@@ -1,0 +1,33 @@
+package pipeline
+
+import "container/heap"
+
+// resolveCompletions drains execution-complete events up to the current
+// cycle. Its real work is branch resolution for the leading/single thread:
+// training the predictor and squashing + redirecting on a misprediction.
+// Trailing branches never redirect — their outcomes are validated at commit
+// (BOQ in SRT, the program-order check in BlackJack).
+func (m *Machine) resolveCompletions() {
+	for len(m.events) > 0 && m.events[0].DoneCycle <= m.cycle {
+		u := heap.Pop(&m.events).(*UOp)
+		if !u.Squashed {
+			m.trace(TraceComplete, u)
+		}
+		if u.Squashed || !u.Inst.IsBranch() || u.Thread != leadThread {
+			continue
+		}
+		m.stats.Branches++
+		mispredicted := u.Taken != u.PredTaken
+		if u.Inst.IsCondBranch() {
+			m.pred.Update(u.PredLookup, u.Taken)
+		}
+		if mispredicted {
+			m.stats.Mispredicts++
+			next := u.PC + 1
+			if u.Taken {
+				next = u.Target
+			}
+			m.squash(m.threads[u.Thread], u.Seq, next)
+		}
+	}
+}

@@ -1,0 +1,221 @@
+// Package pipeline implements the cycle-level out-of-order SMT core on which
+// the paper's four machine configurations run: a non-redundant single thread,
+// SRT (leading + trailing threads coupled by BOQ/LVQ/store buffer), BlackJack
+// without shuffle (BlackJack-NS), and full BlackJack (DTQ + safe-shuffle +
+// commit checks).
+//
+// The model is built around the two resources whose spatial diversity the
+// paper measures: frontend ways (fetch lane = PC offset within the aligned
+// fetch block, carried through decode and rename) and typed backend ways
+// (functional units, assigned oldest-first to the lowest free way of the
+// instruction's class). Stages evaluate in reverse order each cycle so
+// same-cycle backpressure needs no intra-cycle iteration; operand readiness
+// uses per-physical-register ready-cycle timestamps, giving correct
+// back-to-back scheduling for single-cycle producers.
+package pipeline
+
+import (
+	"fmt"
+
+	"blackjack/internal/bpred"
+	"blackjack/internal/cache"
+	"blackjack/internal/isa"
+)
+
+// Mode selects the machine configuration.
+type Mode uint8
+
+// The four machine configurations of Section 6.
+const (
+	// ModeSingle is the non-fault-tolerant single-thread baseline that
+	// Figure 7 normalizes against.
+	ModeSingle Mode = iota
+	// ModeSRT runs leading+trailing threads with SRT coupling; hard-error
+	// coverage comes only from accidental spatial diversity.
+	ModeSRT
+	// ModeBlackJackNS is BlackJack with safe-shuffle disabled: the trailing
+	// thread fetches unshuffled DTQ packets one per cycle (the performance
+	// decomposition point of Section 6.2).
+	ModeBlackJackNS
+	// ModeBlackJack is the full system: DTQ, safe-shuffle, double rename and
+	// the commit-time dependence/PC checks.
+	ModeBlackJack
+)
+
+var modeNames = map[Mode]string{
+	ModeSingle:      "single",
+	ModeSRT:         "srt",
+	ModeBlackJackNS: "blackjack-ns",
+	ModeBlackJack:   "blackjack",
+}
+
+// String returns the mode's name.
+func (m Mode) String() string {
+	if s, ok := modeNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Redundant reports whether the mode runs a trailing thread.
+func (m Mode) Redundant() bool { return m != ModeSingle }
+
+// UsesDTQ reports whether the trailing thread fetches from shuffled (or
+// pass-through) DTQ packets.
+func (m Mode) UsesDTQ() bool { return m == ModeBlackJack || m == ModeBlackJackNS }
+
+// ParseMode resolves a mode name.
+func ParseMode(s string) (Mode, error) {
+	for m, name := range modeNames {
+		if name == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("pipeline: unknown mode %q (known: single, srt, blackjack-ns, blackjack)", s)
+}
+
+// Config holds every machine parameter. Defaults come from Table 1.
+type Config struct {
+	FetchWidth  int // also the number of frontend ways
+	RenameWidth int // rename/dispatch bandwidth per cycle, shared
+	IssueWidth  int
+	CommitWidth int // per thread
+
+	ActiveList int // entries per thread context
+	LSQ        int // load/store queue entries per thread context
+	IssueQueue int // unified, shared between threads
+	PhysRegs   int // shared physical register pool
+
+	// Units is the number of backend ways per class. Table 1: 4 intALU,
+	// 2 intMul, 2 intDiv, 2 FP ALU, 2 FP mul; the 2 memory ways are the two
+	// L1 ports. The paper notes both SRT and BlackJack use two of every
+	// resource type because spatial diversity is impossible otherwise.
+	Units [isa.NumUnitClasses]int
+	// ClassLat is the base execution latency per class (memory ops use the
+	// cache model instead).
+	ClassLat [isa.NumUnitClasses]int
+	// Unpipelined classes occupy their way for the full latency.
+	Unpipelined [isa.NumUnitClasses]bool
+	// FDivLat is the latency of FP divide (executes unpipelined on an FP
+	// multiplier way).
+	FDivLat int
+
+	// MergePackets enables the merging shuffle extension (the paper's
+	// Section 6.2 future-work suggestion): adjacent committed DTQ packets
+	// whose register sets are provably disjoint are combined into one
+	// trailing packet, recovering fetch bandwidth lost to the
+	// one-packet-per-cycle rule. Off by default (the paper's BlackJack).
+	MergePackets bool
+
+	StoreBuffer int // entries (Table 1: 64)
+	LVQ         int // entries (Table 1: 128)
+	BOQ         int // entries (Table 1: 96)
+	Slack       int // target leading-trailing slack in instructions (256)
+	DTQ         int // entries (Table 1: 1024)
+
+	// LVQLat is the trailing thread's LVQ access latency (it never touches
+	// the cache hierarchy).
+	LVQLat int
+
+	FetchQueue  int // per-thread fetch buffer, in instructions
+	PacketQueue int // trailing fetch queue, in shuffled packets
+	Stream      int // committed-stream queue capacity (SRT trailing fetch)
+
+	Cache cache.Config
+	Bpred bpred.Config
+
+	// MaxCycles bounds a Run as a deadlock backstop; 0 derives a generous
+	// bound from the instruction budget.
+	MaxCycles int64
+}
+
+// DefaultConfig returns the Table 1 machine.
+func DefaultConfig() Config {
+	var units, lat [isa.NumUnitClasses]int
+	var unpiped [isa.NumUnitClasses]bool
+	units[isa.UnitIntALU], lat[isa.UnitIntALU] = 4, 1
+	units[isa.UnitIntMul], lat[isa.UnitIntMul] = 2, 3
+	units[isa.UnitIntDiv], lat[isa.UnitIntDiv] = 2, 20
+	units[isa.UnitFPALU], lat[isa.UnitFPALU] = 2, 2
+	units[isa.UnitFPMul], lat[isa.UnitFPMul] = 2, 4
+	units[isa.UnitMem], lat[isa.UnitMem] = 2, 1
+	unpiped[isa.UnitIntDiv] = true
+	return Config{
+		FetchWidth:  4,
+		RenameWidth: 4,
+		IssueWidth:  4,
+		CommitWidth: 4,
+		ActiveList:  512,
+		LSQ:         64,
+		IssueQueue:  32,
+		PhysRegs:    896,
+		Units:       units,
+		ClassLat:    lat,
+		Unpipelined: unpiped,
+		FDivLat:     12,
+		StoreBuffer: 64,
+		LVQ:         128,
+		BOQ:         96,
+		Slack:       256,
+		DTQ:         1024,
+		LVQLat:      2,
+		FetchQueue:  16,
+		PacketQueue: 32,
+		Stream:      2048,
+		Cache:       cache.DefaultConfig(),
+		Bpred:       bpred.DefaultConfig(),
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.FetchWidth < 3:
+		// Safe-shuffle's greedy placement needs at least three slots to
+		// guarantee termination (DESIGN.md).
+		return fmt.Errorf("pipeline: fetch width %d < 3", c.FetchWidth)
+	case c.RenameWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0:
+		return fmt.Errorf("pipeline: non-positive stage width")
+	case c.ActiveList <= 0 || c.LSQ <= 0 || c.IssueQueue <= 0:
+		return fmt.Errorf("pipeline: non-positive window structure size")
+	case c.PhysRegs < 2*isa.NumArchRegs+2*c.RenameWidth:
+		return fmt.Errorf("pipeline: %d physical registers cannot back two contexts", c.PhysRegs)
+	case c.StoreBuffer <= 0 || c.LVQ <= 0 || c.BOQ <= 0 || c.DTQ <= 0:
+		return fmt.Errorf("pipeline: non-positive redundancy queue size")
+	case c.Slack < 0:
+		return fmt.Errorf("pipeline: negative slack")
+	case c.LVQLat <= 0 || c.FDivLat <= 0:
+		return fmt.Errorf("pipeline: non-positive latency")
+	case c.FetchQueue < c.FetchWidth || c.Stream < c.FetchWidth:
+		return fmt.Errorf("pipeline: fetch buffering too small")
+	case c.PacketQueue < c.FetchWidth:
+		// One input packet can shuffle into up to FetchWidth output packets;
+		// a smaller queue could never accept them and shuffle would wedge.
+		return fmt.Errorf("pipeline: packet queue %d smaller than fetch width %d", c.PacketQueue, c.FetchWidth)
+	}
+	for cl := isa.UnitClass(0); cl < isa.NumUnitClasses; cl++ {
+		if c.Units[cl] <= 0 {
+			return fmt.Errorf("pipeline: class %v has no units", cl)
+		}
+		if c.ClassLat[cl] <= 0 {
+			return fmt.Errorf("pipeline: class %v has non-positive latency", cl)
+		}
+	}
+	return c.Cache.Validate()
+}
+
+// latency returns the execution latency and unit occupancy (cycles the
+// backend way stays busy) for an instruction.
+func (c *Config) latency(in isa.Inst) (lat, busy int) {
+	class := in.Class()
+	lat = c.ClassLat[class]
+	busy = 1
+	if c.Unpipelined[class] {
+		busy = lat
+	}
+	if in.Op == isa.OpFDiv {
+		lat = c.FDivLat
+		busy = lat // FP divide is unpipelined on the FP multiplier way
+	}
+	return lat, busy
+}

@@ -1,0 +1,23 @@
+package pipeline
+
+import "blackjack/internal/isa"
+
+// ArchReg returns the committed architectural value of register r in thread
+// th's context, read through the thread's rename map. The BlackJack trailing
+// thread has no architectural map (it renames leading physical registers);
+// use the leading thread's state instead.
+func (m *Machine) ArchReg(th int, r isa.Reg) uint64 {
+	t := m.threads[th]
+	return m.rf.Value(t.rmap.Get(int(r)))
+}
+
+// MemWord returns the 8-byte word at the (clamped) address of the machine's
+// memory image.
+func (m *Machine) MemWord(addr uint64) uint64 { return m.readMem(addr) }
+
+// StatsSnapshot finalizes and returns a copy of the current statistics
+// without requiring the run to be complete.
+func (m *Machine) StatsSnapshot() Stats {
+	m.finalizeStats()
+	return m.stats
+}

@@ -1,0 +1,412 @@
+package pipeline
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blackjack/internal/area"
+	"blackjack/internal/bpred"
+	"blackjack/internal/cache"
+	"blackjack/internal/core"
+	"blackjack/internal/detect"
+	"blackjack/internal/isa"
+	"blackjack/internal/queues"
+	"blackjack/internal/redundancy"
+	"blackjack/internal/rename"
+)
+
+// Injector corrupts values flowing through specific physical resources,
+// modeling hard (permanent, possibly state-dependent) defects. A nil injector
+// means a fault-free machine. Implementations live in internal/fault.
+type Injector interface {
+	// CorruptDecode corrupts the decoded form of an instruction processed on
+	// frontend way w.
+	CorruptDecode(way int, in isa.Inst) isa.Inst
+	// CorruptPayload corrupts the instruction payload read from issue-queue
+	// slot `slot` by thread `thread` at issue.
+	CorruptPayload(slot, thread int, in isa.Inst) isa.Inst
+	// CorruptResult corrupts the result computed on backend way (class, way).
+	CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint64) uint64
+	// CorruptAddr corrupts an effective address computed on backend way
+	// (class, way).
+	CorruptAddr(class isa.UnitClass, way int, addr uint64) uint64
+	// CorruptBranch corrupts a branch direction computed on backend way
+	// (class, way).
+	CorruptBranch(class isa.UnitClass, way int, taken bool) bool
+	// CorruptRegRead corrupts a value read from physical register p.
+	CorruptRegRead(p rename.PhysReg, v uint64) uint64
+}
+
+// eventHeap orders in-flight UOps by completion cycle.
+type eventHeap []*UOp
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].DoneCycle != h[j].DoneCycle {
+		return h[i].DoneCycle < h[j].DoneCycle
+	}
+	return h[i].GSeq < h[j].GSeq // older resolves first on ties
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*UOp)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	u := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return u
+}
+
+// Machine is one simulated SMT core running one program in one mode.
+type Machine struct {
+	cfg  Config
+	mode Mode
+	prog *isa.Program
+	mem  []byte
+
+	rf       *rename.RegFile
+	freeList *rename.FreeList
+	threads  []*thread
+
+	iq         []*UOp // dispatch order == GSeq order
+	iqSlots    []bool // payload RAM slot occupancy
+	unitFreeAt [isa.NumUnitClasses][]int64
+
+	pred   *bpred.Predictor
+	dcache *cache.Hierarchy
+
+	// SRT coupling.
+	boq    *redundancy.BOQ
+	lvq    *redundancy.LVQ
+	sb     *redundancy.StoreBuffer
+	stream *redundancy.Stream
+
+	// BlackJack.
+	dtq      *core.DTQ
+	shuffler *core.Shuffler
+	packets  *queues.Ring[core.Packet]
+	dr       *core.DoubleRename
+	oc       *core.OrderChecker
+
+	sink      *detect.Sink
+	inj       Injector
+	areaModel area.Model
+	tracer    *Tracer
+
+	events eventHeap
+	cycle  int64
+	gseq   uint64
+
+	cap         uint64 // leading-commit target for this run
+	leadStopped bool
+
+	// Dispatch-time reservations of commit-side redundancy queues. A leading
+	// load/store may only DISPATCH with an LVQ / store-buffer slot reserved:
+	// otherwise either a committed-but-unqueueable instruction at the head
+	// of the leading active list blocks the DTQ head packet, or (if gated at
+	// issue instead) unissuable loads fill the unified issue queue — and
+	// both block the trailing thread, the only thing that drains those
+	// queues (the same cyclic-dependency shape as the DTQ dispatch gate).
+	lvqInFlight int
+	sbInFlight  int
+
+	stats    Stats
+	storeSig uint64
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithInjector installs a hard-fault injector.
+func WithInjector(inj Injector) Option { return func(m *Machine) { m.inj = inj } }
+
+// WithSink installs a shared detection sink (a fresh one is created
+// otherwise).
+func WithSink(s *detect.Sink) Option { return func(m *Machine) { m.sink = s } }
+
+// New builds a machine ready to run prog in the given mode.
+func New(cfg Config, mode Mode, prog *isa.Program, opts ...Option) (*Machine, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if prog == nil {
+		return nil, isa.ErrNoProgram
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	// The L1 ports are the memory backend ways: unit arbitration already
+	// bounds cache accesses per cycle, so the cache model must never reject.
+	cfg.Cache.L1Ports = cfg.Units[isa.UnitMem]
+
+	m := &Machine{
+		cfg:       cfg,
+		mode:      mode,
+		prog:      prog,
+		rf:        rename.NewRegFile(cfg.PhysRegs),
+		pred:      bpred.New(cfg.Bpred),
+		dcache:    cache.New(cfg.Cache),
+		iqSlots:   make([]bool, cfg.IssueQueue),
+		areaModel: area.Default(),
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	if m.sink == nil {
+		m.sink = &detect.Sink{}
+	}
+
+	size := prog.DataSize
+	if size < 8 {
+		size = 8
+	}
+	m.mem = make([]byte, size)
+	for i, w := range prog.Init {
+		binary.LittleEndian.PutUint64(m.mem[8*i:], w)
+	}
+
+	for cl := isa.UnitClass(0); cl < isa.NumUnitClasses; cl++ {
+		m.unitFreeAt[cl] = make([]int64, cfg.Units[cl])
+	}
+
+	nThreads := 1
+	if mode.Redundant() {
+		nThreads = 2
+	}
+	// Reserve the low physical registers for the initial architectural
+	// mappings of each context; the rest form the shared free pool.
+	reserved := nThreads * isa.NumArchRegs
+	m.freeList = rename.NewFreeList(rename.PhysReg(reserved), cfg.PhysRegs-reserved)
+	for i := 0; i < nThreads; i++ {
+		t := newThread(i, &cfg)
+		for a := 0; a < isa.NumArchRegs; a++ {
+			t.rmap.Set(a, rename.PhysReg(i*isa.NumArchRegs+a))
+		}
+		m.threads = append(m.threads, t)
+	}
+
+	if mode.Redundant() {
+		m.lvq = redundancy.NewLVQ(cfg.LVQ)
+		m.sb = redundancy.NewStoreBuffer(cfg.StoreBuffer)
+		if mode == ModeSRT {
+			m.boq = redundancy.NewBOQ(cfg.BOQ)
+			m.stream = redundancy.NewStream(cfg.Stream)
+		}
+		if mode.UsesDTQ() {
+			m.dtq = core.NewDTQ(cfg.DTQ)
+			m.shuffler = &core.Shuffler{
+				Width:    cfg.FetchWidth,
+				Units:    cfg.Units,
+				Disabled: mode == ModeBlackJackNS,
+			}
+			m.packets = queues.NewRing[core.Packet](cfg.PacketQueue)
+			m.dr = core.NewDoubleRename(cfg.PhysRegs)
+			m.oc = core.NewOrderChecker()
+			// Seed the double-rename and second (program-order) rename
+			// tables with the initial architectural state: leading initial
+			// physical a maps to trailing initial physical a.
+			lead, trail := m.threads[leadThread], m.threads[trailThread]
+			for a := 0; a < isa.NumArchRegs; a++ {
+				m.dr.Seed(lead.rmap.Get(a), trail.rmap.Get(a))
+				m.oc.Seed(isa.Reg(a), trail.rmap.Get(a))
+			}
+		}
+	}
+	return m, nil
+}
+
+// Mode returns the machine's mode.
+func (m *Machine) Mode() Mode { return m.mode }
+
+// Cycle returns the current cycle number.
+func (m *Machine) Cycle() int64 { return m.cycle }
+
+// Sink returns the detection sink.
+func (m *Machine) Sink() *detect.Sink { return m.sink }
+
+// readMem returns the 8-byte word at the (clamped) address.
+func (m *Machine) readMem(addr uint64) uint64 {
+	return binary.LittleEndian.Uint64(m.mem[isa.ClampAddr(addr, len(m.mem)):])
+}
+
+// writeMem stores the word at the (clamped) address.
+func (m *Machine) writeMem(addr, v uint64) {
+	binary.LittleEndian.PutUint64(m.mem[isa.ClampAddr(addr, len(m.mem)):], v)
+}
+
+// releaseStore applies an architecturally final store to memory and extends
+// the output signature.
+func (m *Machine) releaseStore(addr, v uint64) {
+	a := isa.ClampAddr(addr, len(m.mem))
+	m.writeMem(a, v)
+	m.storeSig = isa.ChainStoreSig(m.storeSig, a, v)
+	m.stats.ReleasedStores++
+}
+
+// clamp maps an effective address onto the memory image.
+func (m *Machine) clamp(addr uint64) uint64 { return isa.ClampAddr(addr, len(m.mem)) }
+
+// areaPairCoverage applies the area model to one pair's diversity outcome.
+func (m *Machine) areaPairCoverage(fe, be bool) float64 {
+	return m.areaModel.PairCoverage(fe, be)
+}
+
+// Tick advances the machine by one cycle. Stages run in reverse pipeline
+// order so same-cycle structural backpressure is modeled without intra-cycle
+// iteration.
+func (m *Machine) Tick() {
+	m.cycle++
+	m.resolveCompletions()
+	m.commitStage()
+	m.capCheck()
+	m.shuffleStage()
+	m.issueStage()
+	m.dispatchStage()
+	m.fetchStage()
+	m.stats.Cycles = m.cycle
+}
+
+// Run executes until the run is complete: the leading (or single) thread has
+// committed maxLeading instructions or halted, and — in redundant modes — the
+// trailing thread has committed every instruction the leading thread did. It
+// returns the machine statistics. A cycle backstop (Config.MaxCycles) guards
+// against livelock; hitting it sets Stats.Deadlocked.
+func (m *Machine) Run(maxLeading int) *Stats {
+	m.cap = uint64(maxLeading)
+	limit := m.cfg.MaxCycles
+	if limit == 0 {
+		limit = int64(maxLeading)*300 + 1_000_000
+	}
+	lastCommit := uint64(0)
+	lastProgress := int64(0)
+	for !m.runDone() {
+		m.Tick()
+		if c := m.totalCommitted(); c != lastCommit {
+			lastCommit = c
+			lastProgress = m.cycle
+		}
+		if m.cycle >= limit || m.cycle-lastProgress > 1_000_000 {
+			m.stats.Deadlocked = true
+			break
+		}
+	}
+	m.finalizeStats()
+	return &m.stats
+}
+
+func (m *Machine) totalCommitted() uint64 {
+	n := uint64(0)
+	for _, t := range m.threads {
+		n += t.committed
+	}
+	return n
+}
+
+func (m *Machine) runDone() bool {
+	lead := m.threads[leadThread]
+	leadDone := lead.halted || (m.cap > 0 && lead.committed >= m.cap)
+	if !m.mode.Redundant() {
+		return leadDone
+	}
+	trail := m.threads[trailThread]
+	return leadDone && m.leadStopped && trail.committed >= lead.committed && trail.drained()
+}
+
+// capCheck stops the leading thread once it has committed the run's
+// instruction budget (or its halt), squashing its in-flight wrong-path tail
+// so the trailing thread's stream is exactly the committed stream.
+func (m *Machine) capCheck() {
+	lead := m.threads[leadThread]
+	if m.leadStopped {
+		return
+	}
+	if (m.cap > 0 && lead.committed >= m.cap) || lead.halted {
+		if m.mode.Redundant() {
+			m.squash(lead, lead.nextSeqCommitted(), -1)
+		}
+		lead.fetchStopped = true
+		lead.halted = true
+		m.leadStopped = true
+	}
+}
+
+// nextSeqCommitted returns the Seq of the last committed instruction (squash
+// keeps everything at or below it).
+func (t *thread) nextSeqCommitted() uint64 {
+	// Seq numbering starts at 1 (nextSeq is pre-incremented at dispatch), so
+	// after k commits the last committed Seq is exactly k.
+	return t.committed
+}
+
+// squash removes every uop of thread t with Seq > afterSeq, undoing renaming
+// and freeing resources, and redirects fetch to newPC (-1 leaves the fetch PC
+// untouched and merely clears the fetch buffer).
+func (m *Machine) squash(t *thread, afterSeq uint64, newPC int) {
+	// Walk the active list from the tail backwards, undoing rename mappings
+	// in reverse allocation order.
+	for v := t.rob.tail; v > t.rob.head; v-- {
+		u := t.rob.at(v - 1)
+		if u == nil || u.Seq <= afterSeq {
+			break
+		}
+		if u.PDest != rename.None {
+			t.rmap.Set(int(u.Inst.Rd), u.POld)
+			m.freeList.Free(u.PDest)
+		}
+		switch {
+		case u.Inst.IsBranch():
+			t.nextBranchSeq--
+		case u.Inst.IsLoad():
+			t.nextLoadSeq--
+			if m.mode.Redundant() && t.id == leadThread {
+				m.lvqInFlight--
+			}
+		case u.Inst.IsStore():
+			t.nextStoreSeq--
+			if m.mode.Redundant() && t.id == leadThread {
+				m.sbInFlight--
+			}
+		}
+		if u.Inst.IsMem() {
+			t.lsq.clearAt(u.VirtLSQ)
+			t.lsq.shrinkTail(u.VirtLSQ)
+		}
+		if u.InIQ {
+			u.InIQ = false
+			m.iqSlots[u.IQSlot] = false
+		}
+		u.Squashed = true
+		m.trace(TraceSquash, u)
+		m.stats.Squashed++
+		t.rob.clearAt(v - 1)
+		t.rob.shrinkTail(v - 1)
+	}
+	t.nextSeq = afterSeq
+	t.fetchQ.Reset()
+	t.fetchStopped = false
+	if newPC >= 0 {
+		t.fetchPC = newPC
+		if newPC >= len(m.prog.Code) {
+			t.fetchStopped = true
+		}
+	}
+	// Drop squashed entries from the issue queue and, in BlackJack modes,
+	// from the DTQ.
+	live := m.iq[:0]
+	for _, u := range m.iq {
+		if !u.Squashed {
+			live = append(live, u)
+		}
+	}
+	m.iq = live
+	if m.dtq != nil && t.id == leadThread {
+		m.dtq.SquashYounger(afterSeq)
+	}
+}
+
+// internalError records a simulator invariant violation. It panics: such
+// states indicate pipeline bugs, never program or fault behaviour.
+func (m *Machine) internalError(format string, args ...any) {
+	panic(fmt.Sprintf("pipeline: cycle %d: %s", m.cycle, fmt.Sprintf(format, args...)))
+}

@@ -1,0 +1,124 @@
+package pipeline
+
+import (
+	"math/rand"
+	"testing"
+
+	"blackjack/internal/prog"
+)
+
+// randomProfile draws a structurally valid random workload profile.
+func randomProfile(rng *rand.Rand, trial int) prog.Profile {
+	mixBudget := 0.85
+	draw := func(max float64) float64 {
+		f := rng.Float64() * max
+		if f > mixBudget {
+			f = mixBudget
+		}
+		mixBudget -= f
+		return f
+	}
+	return prog.Profile{
+		Name:              "fuzz",
+		Seed:              uint64(1000 + trial),
+		LoadFrac:          draw(0.3),
+		StoreFrac:         draw(0.15),
+		FPALUFrac:         draw(0.25),
+		FPMulFrac:         draw(0.2),
+		IntMulFrac:        draw(0.05),
+		IntDivFrac:        draw(0.02),
+		ChainFrac:         rng.Float64() * 0.8,
+		Streams:           1 + rng.Intn(prog.MaxStreams),
+		RandLoadFrac:      rng.Float64() * 0.6,
+		PtrChaseFrac:      rng.Float64() * 0.05,
+		WorkingSetKB:      16 << rng.Intn(6), // 16KB .. 512KB
+		Stride:            int64(8 * (1 + rng.Intn(64))),
+		BranchEvery:       3 + rng.Intn(20),
+		DataDepBranchFrac: rng.Float64(),
+		SkipMax:           1 + rng.Intn(3),
+		BlockOps:          8 + rng.Intn(24),
+		Blocks:            2 + rng.Intn(6),
+	}
+}
+
+// Property: for ANY generated workload, every machine mode commits exactly
+// the golden model's store stream, with zero detections and equal thread
+// commit counts. This is the simulator's strongest end-to-end invariant.
+func TestPropertyAllModesMatchGoldenOnRandomPrograms(t *testing.T) {
+	trials := 12
+	if testing.Short() {
+		trials = 3
+	}
+	rng := rand.New(rand.NewSource(20260704))
+	for trial := 0; trial < trials; trial++ {
+		pr := randomProfile(rng, trial)
+		p, err := prog.Generate(pr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, mode := range []Mode{ModeSingle, ModeSRT, ModeBlackJackNS, ModeBlackJack} {
+			m, st := run(t, DefaultConfig(), mode, p, 4000)
+			if !m.Sink().Empty() {
+				t.Fatalf("trial %d %v: detections in fault-free run: %v",
+					trial, mode, m.Sink().Events())
+			}
+			g := golden(t, p, st.Committed[0])
+			if st.StoreSignature != g.StoreSignature() || st.ReleasedStores != uint64(g.Stores()) {
+				t.Fatalf("trial %d %v: output diverged from golden model (profile %+v)",
+					trial, mode, pr)
+			}
+			if mode.Redundant() && st.Committed[0] != st.Committed[1] {
+				t.Fatalf("trial %d %v: thread commit counts differ: %d vs %d",
+					trial, mode, st.Committed[0], st.Committed[1])
+			}
+		}
+	}
+}
+
+// Property: the merging shuffle must remain architecturally invisible on
+// random workloads.
+func TestPropertyMergingShuffleMatchesGolden(t *testing.T) {
+	trials := 6
+	if testing.Short() {
+		trials = 2
+	}
+	rng := rand.New(rand.NewSource(777))
+	cfg := DefaultConfig()
+	cfg.MergePackets = true
+	for trial := 0; trial < trials; trial++ {
+		pr := randomProfile(rng, 500+trial)
+		p, err := prog.Generate(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, st := run(t, cfg, ModeBlackJack, p, 4000)
+		if !m.Sink().Empty() {
+			t.Fatalf("trial %d: detections: %v", trial, m.Sink().Events())
+		}
+		g := golden(t, p, st.Committed[0])
+		if st.StoreSignature != g.StoreSignature() {
+			t.Fatalf("trial %d: merged-shuffle output diverged (profile %+v)", trial, pr)
+		}
+	}
+}
+
+// Property: BlackJack's frontend diversity is exactly 1.0 on any workload —
+// it is enforced by construction, not statistically.
+func TestPropertyFrontendDiversityExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 5; trial++ {
+		pr := randomProfile(rng, 900+trial)
+		p, err := prog.Generate(pr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, bj := run(t, DefaultConfig(), ModeBlackJack, p, 3000)
+		if fd := bj.FrontendDiversity(); fd != 1.0 {
+			t.Errorf("trial %d: blackjack frontend diversity %.4f != 1", trial, fd)
+		}
+		_, srt := run(t, DefaultConfig(), ModeSRT, p, 3000)
+		if fd := srt.FrontendDiversity(); fd != 0.0 {
+			t.Errorf("trial %d: srt frontend diversity %.4f != 0", trial, fd)
+		}
+	}
+}

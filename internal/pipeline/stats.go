@@ -1,0 +1,151 @@
+package pipeline
+
+import (
+	"blackjack/internal/cache"
+	"blackjack/internal/detect"
+)
+
+// Stats holds everything a run measures. The experiment harnesses derive the
+// paper's figures from these fields.
+type Stats struct {
+	Cycles int64
+
+	// Per-thread counters (index 0 = leading/single, 1 = trailing).
+	Committed [2]uint64
+	Fetched   [2]uint64
+	Issued    [2]uint64
+
+	Squashed        uint64
+	Branches        uint64
+	Mispredicts     uint64
+	NOPsExecuted    uint64
+	TrailingPackets uint64 // shuffled packets fetched by the trailing thread
+
+	// Issue-cycle classification (Figures 5 and 6).
+	IssueCycles        uint64 // cycles in which at least one uop issued
+	SingleContextIssue uint64 // ...all from one context
+	LTInterference     uint64 // ...diversity lost with leading co-issue
+	TTInterference     uint64 // ...diversity lost without leading co-issue
+
+	// Coverage accounting over committed leading/trailing pairs (Figure 4).
+	Pairs          uint64
+	FeDiversePairs uint64
+	BeDiversePairs uint64
+	// Per-unit-class backend diversity breakdown: which classes lose
+	// diversity (narrow 2-way classes fare worst under SRT).
+	PairsByClass     [6]uint64
+	BeDiverseByClass [6]uint64
+	CoverageSum      float64 // to be divided by Pairs with the area model applied
+	BackendCoverage  float64 // derived in finalizeStats
+
+	// Shuffle statistics (Section 6.2).
+	ShuffleInPackets  uint64
+	ShuffleOutPackets uint64
+	ShuffleSplits     uint64
+	ShuffleNOPs       uint64
+	MergedPackets     uint64 // merging-shuffle extension: packet pairs combined
+
+	// Output.
+	ReleasedStores uint64
+	StoreSignature uint64
+
+	Cache cache.Stats
+
+	// Detections recorded by the redundancy checkers.
+	Detections uint64
+	FirstEvent *detect.Event
+
+	// Deadlocked is set when the run hit the cycle backstop without
+	// completing — always a bug (or an injected fault wedging the pipeline,
+	// which counts as detected misbehaviour for campaigns that check it).
+	Deadlocked bool
+}
+
+// IPC returns committed leading-thread instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed[0]) / float64(s.Cycles)
+}
+
+// Coverage returns the paper's hard-error instruction coverage metric: mean
+// area-weighted spatial diversity over all instruction pairs.
+func (s *Stats) Coverage() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return s.CoverageSum / float64(s.Pairs)
+}
+
+// FrontendDiversity returns the fraction of pairs with diverse frontend ways.
+func (s *Stats) FrontendDiversity() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.FeDiversePairs) / float64(s.Pairs)
+}
+
+// BackendDiversity returns the fraction of pairs with diverse backend ways
+// (Figure 4b).
+func (s *Stats) BackendDiversity() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return float64(s.BeDiversePairs) / float64(s.Pairs)
+}
+
+// ClassDiversity returns the backend diversity of pairs executing on the
+// given unit class, and the number of such pairs.
+func (s *Stats) ClassDiversity(class int) (frac float64, pairs uint64) {
+	pairs = s.PairsByClass[class]
+	if pairs == 0 {
+		return 0, 0
+	}
+	return float64(s.BeDiverseByClass[class]) / float64(pairs), pairs
+}
+
+// SingleContextFrac returns the fraction of issue cycles in which all issued
+// instructions came from one context (Figure 6).
+func (s *Stats) SingleContextFrac() float64 {
+	if s.IssueCycles == 0 {
+		return 0
+	}
+	return float64(s.SingleContextIssue) / float64(s.IssueCycles)
+}
+
+// LTInterferenceFrac returns the fraction of issue cycles losing coverage to
+// leading-trailing interference (Figure 5).
+func (s *Stats) LTInterferenceFrac() float64 {
+	if s.IssueCycles == 0 {
+		return 0
+	}
+	return float64(s.LTInterference) / float64(s.IssueCycles)
+}
+
+// TTInterferenceFrac returns the fraction of issue cycles losing coverage to
+// trailing-trailing interference (Figure 5).
+func (s *Stats) TTInterferenceFrac() float64 {
+	if s.IssueCycles == 0 {
+		return 0
+	}
+	return float64(s.TTInterference) / float64(s.IssueCycles)
+}
+
+func (m *Machine) finalizeStats() {
+	s := &m.stats
+	for i, t := range m.threads {
+		s.Committed[i] = t.committed
+		s.Fetched[i] = t.fetched
+	}
+	s.Cache = m.dcache.Stats()
+	s.StoreSignature = m.storeSig
+	s.Detections = m.sink.Total()
+	if e, ok := m.sink.First(); ok {
+		s.FirstEvent = &e
+	}
+	if m.shuffler != nil {
+		s.ShuffleInPackets, s.ShuffleOutPackets, s.ShuffleSplits, s.ShuffleNOPs = m.shuffler.Stats()
+	}
+	s.BackendCoverage = s.BackendDiversity()
+}

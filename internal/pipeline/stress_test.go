@@ -1,0 +1,153 @@
+package pipeline
+
+import (
+	"testing"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/prog"
+)
+
+// Tiny redundancy queues exercise every commit-side backpressure path (BOQ,
+// LVQ, store buffer, stream, DTQ, packet queue). The machine must stay
+// correct and live — just slower.
+func TestTinyQueuesStayCorrect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BOQ = 4
+	cfg.LVQ = 6
+	cfg.StoreBuffer = 3
+	cfg.DTQ = 48
+	cfg.PacketQueue = 4
+	cfg.Stream = 16
+	cfg.Slack = 8
+	p := prog.MustBenchmark("gcc")
+	for _, mode := range []Mode{ModeSRT, ModeBlackJackNS, ModeBlackJack} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, st := run(t, cfg, mode, p, 3000)
+			if !m.Sink().Empty() {
+				t.Fatalf("detections: %v", m.Sink().Events())
+			}
+			g := golden(t, p, st.Committed[0])
+			if st.StoreSignature != g.StoreSignature() {
+				t.Error("output diverged under queue pressure")
+			}
+		})
+	}
+}
+
+// Tiny window structures (issue queue, LSQ, active list) and a minimal
+// physical register pool exercise every rename/dispatch stall path.
+func TestTinyWindowsStayCorrect(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IssueQueue = 8
+	cfg.LSQ = 4
+	cfg.ActiveList = 16
+	cfg.PhysRegs = 2*isa.NumArchRegs + 24
+	cfg.FetchQueue = 8
+	p := prog.MustBenchmark("swim")
+	for _, mode := range []Mode{ModeSingle, ModeSRT, ModeBlackJack} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, st := run(t, cfg, mode, p, 2000)
+			if !m.Sink().Empty() {
+				t.Fatalf("detections: %v", m.Sink().Events())
+			}
+			g := golden(t, p, st.Committed[0])
+			if st.StoreSignature != g.StoreSignature() {
+				t.Error("output diverged under window pressure")
+			}
+		})
+	}
+}
+
+// Unpipelined dividers (20-cycle occupancy) and FP divide on the multiplier
+// ways exercise long unit-busy windows; a div-heavy workload must still be
+// architecturally exact and make progress in every mode.
+func TestDivideHeavyWorkload(t *testing.T) {
+	pr := prog.Profile{
+		Name: "divs", Seed: 5,
+		IntDivFrac: 0.15, IntMulFrac: 0.1, FPMulFrac: 0.15, FPALUFrac: 0.1,
+		LoadFrac: 0.1, StoreFrac: 0.05,
+		ChainFrac: 0.2, Streams: 4, WorkingSetKB: 32, Stride: 64,
+		BranchEvery: 10, DataDepBranchFrac: 0.2, SkipMax: 2,
+		BlockOps: 16, Blocks: 4,
+	}
+	p, err := prog.Generate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{ModeSingle, ModeSRT, ModeBlackJack} {
+		t.Run(mode.String(), func(t *testing.T) {
+			m, st := run(t, DefaultConfig(), mode, p, 2500)
+			if !m.Sink().Empty() {
+				t.Fatalf("detections: %v", m.Sink().Events())
+			}
+			g := golden(t, p, st.Committed[0])
+			if st.StoreSignature != g.StoreSignature() {
+				t.Error("output diverged with unpipelined dividers")
+			}
+		})
+	}
+}
+
+// A wider machine (8-wide, more units) must also hold every invariant —
+// safe-shuffle's algorithm is width-generic.
+func TestWideMachine(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FetchWidth = 8
+	cfg.RenameWidth = 8
+	cfg.IssueWidth = 8
+	cfg.CommitWidth = 8
+	cfg.Units[isa.UnitIntALU] = 6
+	cfg.Units[isa.UnitFPALU] = 3
+	cfg.FetchQueue = 32
+	p := prog.MustBenchmark("sixtrack")
+	m, st := run(t, cfg, ModeBlackJack, p, 4000)
+	if !m.Sink().Empty() {
+		t.Fatalf("detections: %v", m.Sink().Events())
+	}
+	if fd := st.FrontendDiversity(); fd != 1.0 {
+		t.Errorf("frontend diversity %.4f != 1 on wide machine", fd)
+	}
+	g := golden(t, p, st.Committed[0])
+	if st.StoreSignature != g.StoreSignature() {
+		t.Error("output diverged on wide machine")
+	}
+}
+
+// Extreme slack values at both ends must be live and correct.
+func TestSlackExtremes(t *testing.T) {
+	p := prog.MustBenchmark("gzip")
+	for _, slack := range []int{0, 1, 2048} {
+		cfg := DefaultConfig()
+		cfg.Slack = slack
+		m, st := run(t, cfg, ModeBlackJack, p, 2500)
+		if !m.Sink().Empty() {
+			t.Fatalf("slack %d: detections: %v", slack, m.Sink().Events())
+		}
+		g := golden(t, p, st.Committed[0])
+		if st.StoreSignature != g.StoreSignature() {
+			t.Errorf("slack %d: output diverged", slack)
+		}
+	}
+}
+
+// Per-class diversity accounting must cover every class the workload uses
+// and reconcile with the aggregate counters.
+func TestPerClassDiversityAccounting(t *testing.T) {
+	p := prog.MustBenchmark("sixtrack")
+	_, st := run(t, DefaultConfig(), ModeBlackJack, p, 5000)
+	var pairs, diverse uint64
+	for c := 0; c < int(isa.NumUnitClasses); c++ {
+		frac, n := st.ClassDiversity(c)
+		pairs += n
+		diverse += uint64(frac*float64(n) + 0.5)
+	}
+	if pairs != st.Pairs {
+		t.Errorf("per-class pairs %d != total %d", pairs, st.Pairs)
+	}
+	if d := int64(diverse) - int64(st.BeDiversePairs); d > 3 || d < -3 {
+		t.Errorf("per-class diverse %d != total %d", diverse, st.BeDiversePairs)
+	}
+	if _, n := st.ClassDiversity(int(isa.UnitFPMul)); n == 0 {
+		t.Error("FP-heavy workload recorded no fpMul pairs")
+	}
+}

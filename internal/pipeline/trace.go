@@ -1,0 +1,169 @@
+package pipeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"blackjack/internal/isa"
+)
+
+// TraceStage names a pipeline event kind.
+type TraceStage uint8
+
+// Trace event kinds, in pipeline order.
+const (
+	TraceFetch TraceStage = iota
+	TraceDispatch
+	TraceIssue
+	TraceComplete
+	TraceCommit
+	TraceSquash
+)
+
+var traceStageNames = map[TraceStage]string{
+	TraceFetch: "F", TraceDispatch: "D", TraceIssue: "I",
+	TraceComplete: "W", TraceCommit: "C", TraceSquash: "X",
+}
+
+// String returns the single-letter stage code (F/D/I/W/C/X).
+func (s TraceStage) String() string { return traceStageNames[s] }
+
+// TraceEvent is one stage transition of one instruction copy.
+type TraceEvent struct {
+	Cycle    int64
+	Stage    TraceStage
+	Thread   int
+	Seq      uint64
+	PC       int
+	Inst     isa.Inst
+	FrontWay int
+	BackWay  int
+	IsNOP    bool
+}
+
+// Tracer records pipeline events within a cycle window. Attach with
+// WithTracer; a nil tracer costs nothing. The zero value traces from cycle 0
+// until MaxEvents (default 4096) events have been recorded.
+type Tracer struct {
+	// FromCycle/ToCycle bound the recording window (ToCycle 0 = unbounded).
+	FromCycle int64
+	ToCycle   int64
+	// MaxEvents caps recording (0 means 4096).
+	MaxEvents int
+
+	events  []TraceEvent
+	dropped uint64
+}
+
+// WithTracer attaches a tracer to the machine.
+func WithTracer(t *Tracer) Option { return func(m *Machine) { m.tracer = t } }
+
+func (t *Tracer) limit() int {
+	if t.MaxEvents <= 0 {
+		return 4096
+	}
+	return t.MaxEvents
+}
+
+func (t *Tracer) record(cycle int64, stage TraceStage, u *UOp) {
+	if cycle < t.FromCycle || (t.ToCycle > 0 && cycle > t.ToCycle) {
+		return
+	}
+	if len(t.events) >= t.limit() {
+		t.dropped++
+		return
+	}
+	t.events = append(t.events, TraceEvent{
+		Cycle: cycle, Stage: stage, Thread: u.Thread, Seq: u.Seq,
+		PC: u.PC, Inst: u.Inst, FrontWay: u.FrontWay, BackWay: u.BackWay,
+		IsNOP: u.IsNOP,
+	})
+}
+
+// Events returns the recorded events in recording order.
+func (t *Tracer) Events() []TraceEvent { return t.events }
+
+// Dropped returns how many events fell outside MaxEvents.
+func (t *Tracer) Dropped() uint64 { return t.dropped }
+
+// lifeline aggregates one instruction copy's stage cycles.
+type lifeline struct {
+	thread   int
+	seq      uint64
+	pc       int
+	inst     isa.Inst
+	frontWay int
+	backWay  int
+	isNOP    bool
+	stage    [6]int64 // per TraceStage; 0 = unseen
+}
+
+// Render writes a per-instruction lifecycle listing: one line per traced
+// instruction copy with its stage cycles and way assignments, ordered by
+// dispatch cycle. Squashed wrong-path work shows an X column.
+func (t *Tracer) Render(w io.Writer) {
+	byKey := make(map[[2]uint64]*lifeline)
+	var order [][2]uint64
+	for _, e := range t.events {
+		key := [2]uint64{uint64(e.Thread), e.Seq}
+		l, ok := byKey[key]
+		if !ok {
+			l = &lifeline{thread: e.Thread, seq: e.Seq, pc: e.PC, inst: e.Inst, isNOP: e.IsNOP}
+			byKey[key] = l
+			order = append(order, key)
+		}
+		l.stage[e.Stage] = e.Cycle
+		// Way assignments become known as the instruction advances.
+		l.frontWay = e.FrontWay
+		if e.BackWay >= 0 {
+			l.backWay = e.BackWay
+		}
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		a, b := byKey[order[i]], byKey[order[j]]
+		ad, bd := a.stage[TraceDispatch], b.stage[TraceDispatch]
+		if ad != bd {
+			return ad < bd
+		}
+		if a.thread != b.thread {
+			return a.thread < b.thread
+		}
+		return a.seq < b.seq
+	})
+	fmt.Fprintf(w, "%-3s %-6s %-5s %-24s %3s %3s | %8s %8s %8s %8s %8s %8s\n",
+		"thr", "seq", "pc", "instruction", "fw", "bw", "F", "D", "I", "W", "C", "X")
+	for _, key := range order {
+		l := byKey[key]
+		name := l.inst.String()
+		if l.isNOP {
+			name = "nop (shuffle)"
+		}
+		pc := fmt.Sprint(l.pc)
+		if l.pc < 0 {
+			pc = "-"
+		}
+		fmt.Fprintf(w, "T%-2d %-6d %-5s %-24s %3d %3d |%s%s%s%s%s%s\n",
+			l.thread, l.seq, pc, name, l.frontWay, l.backWay,
+			cycleCol(l.stage[TraceFetch]), cycleCol(l.stage[TraceDispatch]),
+			cycleCol(l.stage[TraceIssue]), cycleCol(l.stage[TraceComplete]),
+			cycleCol(l.stage[TraceCommit]), cycleCol(l.stage[TraceSquash]))
+	}
+	if t.dropped > 0 {
+		fmt.Fprintf(w, "(%d events dropped beyond MaxEvents=%d)\n", t.dropped, t.limit())
+	}
+}
+
+func cycleCol(c int64) string {
+	if c == 0 {
+		return fmt.Sprintf("%9s", ".")
+	}
+	return fmt.Sprintf("%9d", c)
+}
+
+// trace is the machine-side hook; nil tracer short-circuits.
+func (m *Machine) trace(stage TraceStage, u *UOp) {
+	if m.tracer != nil {
+		m.tracer.record(m.cycle, stage, u)
+	}
+}

@@ -1,0 +1,87 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"blackjack/internal/prog"
+)
+
+func TestTracerRecordsLifecycle(t *testing.T) {
+	p := sumProgram(20)
+	tr := &Tracer{MaxEvents: 2000}
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(1 << 20)
+	if st.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if len(tr.Events()) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	var stages [6]int
+	for _, e := range tr.Events() {
+		stages[e.Stage]++
+	}
+	for _, s := range []TraceStage{TraceFetch, TraceDispatch, TraceIssue, TraceComplete, TraceCommit} {
+		if stages[s] == 0 {
+			t.Errorf("no %v events", s)
+		}
+	}
+	var b strings.Builder
+	tr.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "T0") || !strings.Contains(out, "T1") {
+		t.Error("render missing thread lifelines")
+	}
+	if !strings.Contains(out, "add r3, r3, r1") {
+		t.Errorf("render missing instruction text:\n%s", out)
+	}
+}
+
+func TestTracerWindowAndCap(t *testing.T) {
+	p := prog.MustBenchmark("gcc")
+	tr := &Tracer{FromCycle: 100, ToCycle: 1000, MaxEvents: 50}
+	m, err := New(DefaultConfig(), ModeSingle, p, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(5000)
+	if len(tr.Events()) > 50 {
+		t.Errorf("cap exceeded: %d events", len(tr.Events()))
+	}
+	for _, e := range tr.Events() {
+		if e.Cycle < 100 || e.Cycle > 1000 {
+			t.Errorf("event outside window at cycle %d", e.Cycle)
+		}
+	}
+	if tr.Dropped() == 0 {
+		t.Error("expected drops with a 50-event cap over a 900-cycle window")
+	}
+}
+
+func TestTracerSquashEvents(t *testing.T) {
+	// A branchy benchmark mispredicts; squashed wrong-path work must appear.
+	p := prog.MustBenchmark("gzip")
+	tr := &Tracer{MaxEvents: 1 << 16}
+	m, err := New(DefaultConfig(), ModeSingle, p, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(4000)
+	if st.Mispredicts == 0 {
+		t.Skip("no mispredicts in window")
+	}
+	found := false
+	for _, e := range tr.Events() {
+		if e.Stage == TraceSquash {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no squash events despite mispredictions")
+	}
+}

@@ -1,0 +1,110 @@
+package pipeline
+
+import "fmt"
+
+// window is a virtual-index-addressed circular instruction window, used for
+// both the active list and the load/store queue of each thread context.
+//
+// The leading/single/SRT-trailing threads allocate entries in order at the
+// tail. The BlackJack trailing thread places entries at explicit virtual
+// indices borrowed from the leading thread (Section 4.3.1): an entry whose
+// virtual index is j past the head occupies the physical slot j past the head
+// slot, and the frontend stalls when j would exceed the structure size —
+// out-of-order fetch thus leaves the appropriate number of empty slots ahead
+// of early-fetched instructions.
+type window struct {
+	slots []*UOp
+	head  uint64 // virtual index of the oldest live entry
+	tail  uint64 // next in-order virtual index (in-order allocators only)
+	count int
+}
+
+func newWindow(n int) *window {
+	if n <= 0 {
+		panic(fmt.Sprintf("pipeline: invalid window size %d", n))
+	}
+	return &window{slots: make([]*UOp, n)}
+}
+
+func (w *window) size() int { return len(w.slots) }
+
+// canPlace reports whether virtual index v falls inside the window.
+func (w *window) canPlace(v uint64) bool {
+	return v >= w.head && v-w.head < uint64(len(w.slots))
+}
+
+// place installs u at virtual index v (which must satisfy canPlace and be
+// empty).
+func (w *window) place(v uint64, u *UOp) {
+	if !w.canPlace(v) {
+		panic(fmt.Sprintf("pipeline: place %d outside window [%d,%d)", v, w.head, w.head+uint64(len(w.slots))))
+	}
+	i := v % uint64(len(w.slots))
+	if w.slots[i] != nil {
+		panic(fmt.Sprintf("pipeline: slot for virtual index %d occupied", v))
+	}
+	w.slots[i] = u
+	w.count++
+	if v >= w.tail {
+		w.tail = v + 1
+	}
+}
+
+// pushTail allocates the next in-order index and installs u there, returning
+// the virtual index.
+func (w *window) pushTail(u *UOp) uint64 {
+	v := w.tail
+	w.place(v, u)
+	return v
+}
+
+// at returns the entry at virtual index v (nil when empty or out of window).
+func (w *window) at(v uint64) *UOp {
+	if !w.canPlace(v) {
+		return nil
+	}
+	return w.slots[v%uint64(len(w.slots))]
+}
+
+// headUop returns the entry at the head (nil when empty or not yet placed).
+func (w *window) headUop() *UOp {
+	return w.slots[w.head%uint64(len(w.slots))]
+}
+
+// popHead removes the head entry and advances the head.
+func (w *window) popHead() {
+	i := w.head % uint64(len(w.slots))
+	if w.slots[i] == nil {
+		panic("pipeline: popHead on empty head slot")
+	}
+	w.slots[i] = nil
+	w.count--
+	w.head++
+	if w.tail < w.head {
+		w.tail = w.head
+	}
+}
+
+// clearAt removes the entry at virtual index v (squash path).
+func (w *window) clearAt(v uint64) {
+	i := v % uint64(len(w.slots))
+	if w.slots[i] != nil {
+		w.slots[i] = nil
+		w.count--
+	}
+}
+
+// shrinkTail rolls the in-order tail back to v (squash path; all entries at
+// indices >= v must already be cleared).
+func (w *window) shrinkTail(v uint64) {
+	if v < w.head {
+		v = w.head
+	}
+	w.tail = v
+}
+
+// occupancy returns the number of live entries.
+func (w *window) occupancy() int { return w.count }
+
+// full reports whether an in-order allocation would overflow.
+func (w *window) full() bool { return w.tail-w.head >= uint64(len(w.slots)) }

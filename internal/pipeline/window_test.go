@@ -1,0 +1,90 @@
+package pipeline
+
+import "testing"
+
+func TestWindowInOrderUse(t *testing.T) {
+	w := newWindow(4)
+	var uops []*UOp
+	for i := 0; i < 4; i++ {
+		u := &UOp{Seq: uint64(i + 1)}
+		uops = append(uops, u)
+		if v := w.pushTail(u); v != uint64(i) {
+			t.Fatalf("pushTail -> %d, want %d", v, i)
+		}
+	}
+	if !w.full() {
+		t.Error("window should be full")
+	}
+	if got := w.headUop(); got != uops[0] {
+		t.Error("headUop mismatch")
+	}
+	w.popHead()
+	if w.full() {
+		t.Error("window still full after pop")
+	}
+	if got := w.headUop(); got != uops[1] {
+		t.Error("head should advance")
+	}
+	if v := w.pushTail(&UOp{Seq: 9}); v != 4 {
+		t.Errorf("pushTail after pop -> %d, want 4", v)
+	}
+}
+
+func TestWindowOutOfOrderPlacement(t *testing.T) {
+	w := newWindow(4)
+	u2 := &UOp{Seq: 2}
+	// Place virtual index 2 first (BlackJack out-of-order fetch).
+	if !w.canPlace(2) {
+		t.Fatal("canPlace(2) = false")
+	}
+	w.place(2, u2)
+	if w.headUop() != nil {
+		t.Error("head slot should be empty (gap)")
+	}
+	if w.canPlace(4) {
+		t.Error("canPlace(4) should be false (outside window)")
+	}
+	u0 := &UOp{Seq: 0}
+	w.place(0, u0)
+	if w.headUop() != u0 {
+		t.Error("head should now be filled")
+	}
+	w.popHead()
+	if !w.canPlace(4) {
+		t.Error("window should have slid forward")
+	}
+}
+
+func TestWindowSquashPath(t *testing.T) {
+	w := newWindow(8)
+	for i := 0; i < 5; i++ {
+		w.pushTail(&UOp{Seq: uint64(i + 1)})
+	}
+	// Squash entries at virtual indices 3,4.
+	w.clearAt(4)
+	w.shrinkTail(4)
+	w.clearAt(3)
+	w.shrinkTail(3)
+	if w.tail != 3 || w.occupancy() != 3 {
+		t.Errorf("tail=%d occ=%d, want 3,3", w.tail, w.occupancy())
+	}
+	v := w.pushTail(&UOp{Seq: 9})
+	if v != 3 {
+		t.Errorf("pushTail after squash -> %d, want 3", v)
+	}
+}
+
+func TestWindowPlacePanics(t *testing.T) {
+	w := newWindow(2)
+	w.place(0, &UOp{})
+	for _, v := range []uint64{0, 2} { // occupied slot; out of window
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("place(%d) did not panic", v)
+				}
+			}()
+			w.place(v, &UOp{})
+		}()
+	}
+}

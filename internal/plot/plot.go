@@ -1,0 +1,182 @@
+// Package plot renders grouped bar charts as standalone SVG documents using
+// only the standard library. The experiment harness uses it to regenerate
+// the paper's figures as images (Figures 4–7), matching their form: grouped
+// bars per benchmark with an average group at the end.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one bar group member (e.g. "SRT", "BlackJack").
+type Series struct {
+	Name   string
+	Values []float64
+	// Color is any SVG color; a default palette entry is used when empty.
+	Color string
+}
+
+// BarChart is a grouped bar chart.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string // x-axis groups (benchmark names)
+	Series     []Series
+	// YMax fixes the y-axis maximum (0 = derived from the data, rounded to
+	// a nice step).
+	YMax float64
+}
+
+// Default palette (white/grey/black echoes the paper's figures, with accents
+// for charts that need more series).
+var palette = []string{"#d9d9d9", "#1a1a1a", "#6baed6", "#fd8d3c", "#74c476"}
+
+// Geometry constants.
+const (
+	width     = 960
+	height    = 400
+	marginL   = 64
+	marginR   = 16
+	marginTop = 44
+	marginBot = 96
+)
+
+// Validate reports structural problems.
+func (c *BarChart) Validate() error {
+	if len(c.Categories) == 0 {
+		return fmt.Errorf("plot: no categories")
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: no series")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	return nil
+}
+
+// yMax picks the axis maximum.
+func (c *BarChart) yMax() float64 {
+	if c.YMax > 0 {
+		return c.YMax
+	}
+	max := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > max {
+				max = v
+			}
+		}
+	}
+	if max <= 0 {
+		return 1
+	}
+	// Round up to 1/2/5 x 10^k.
+	exp := math.Floor(math.Log10(max))
+	base := math.Pow(10, exp)
+	for _, m := range []float64{1, 2, 5, 10} {
+		if max <= m*base {
+			return m * base
+		}
+	}
+	return 10 * base
+}
+
+// SVG renders the chart. It returns an error for malformed charts.
+func (c *BarChart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginTop - marginBot)
+	ymax := c.yMax()
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%d" y="24" font-family="sans-serif" font-size="16" font-weight="bold">%s</text>`+"\n",
+		marginL, esc(c.Title))
+
+	// Y axis: gridlines and labels at 5 steps.
+	for i := 0; i <= 5; i++ {
+		v := ymax * float64(i) / 5
+		y := float64(marginTop) + plotH - plotH*float64(i)/5
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#cccccc" stroke-width="1"/>`+"\n",
+			marginL, y, width-marginR, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			marginL-6, y+4, trimFloat(v))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+			float64(marginTop)+plotH/2, float64(marginTop)+plotH/2, esc(c.YLabel))
+	}
+
+	// Bars.
+	groupW := plotW / float64(len(c.Categories))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, cat := range c.Categories {
+		gx := float64(marginL) + groupW*float64(gi) + groupW*0.1
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			if v < 0 {
+				v = 0
+			}
+			if v > ymax {
+				v = ymax
+			}
+			h := plotH * v / ymax
+			x := gx + barW*float64(si)
+			y := float64(marginTop) + plotH - h
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333333" stroke-width="0.5"/>`+"\n",
+				x, y, barW, h, color(si, s.Color))
+		}
+		// Rotated category label.
+		lx := gx + groupW*0.4
+		ly := float64(marginTop) + plotH + 12
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="11" text-anchor="end" transform="rotate(-45 %.1f %.1f)">%s</text>`+"\n",
+			lx, ly, lx, ly, esc(cat))
+	}
+
+	// Axis lines.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%.1f" stroke="#333333" stroke-width="1"/>`+"\n",
+		marginL, marginTop, marginL, float64(marginTop)+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#333333" stroke-width="1"/>`+"\n",
+		marginL, float64(marginTop)+plotH, width-marginR, float64(marginTop)+plotH)
+
+	// Legend, top right.
+	lx := float64(width - marginR - 150)
+	for si, s := range c.Series {
+		ly := float64(10 + 16*si)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="12" height="12" fill="%s" stroke="#333333" stroke-width="0.5"/>`+"\n",
+			lx, ly, color(si, s.Color))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="12">%s</text>`+"\n",
+			lx+16, ly+10, esc(s.Name))
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}
+
+func color(i int, override string) string {
+	if override != "" {
+		return override
+	}
+	return palette[i%len(palette)]
+}
+
+func esc(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+func trimFloat(v float64) string {
+	s := fmt.Sprintf("%.1f", v)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}

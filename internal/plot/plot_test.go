@@ -1,0 +1,119 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *BarChart {
+	return &BarChart{
+		Title:      "Coverage",
+		YLabel:     "percent",
+		Categories: []string{"gzip", "equake", "average"},
+		Series: []Series{
+			{Name: "SRT", Values: []float64{25, 24, 24.5}},
+			{Name: "BlackJack", Values: []float64{97, 98, 97.5}},
+		},
+		YMax: 100,
+	}
+}
+
+func TestSVGRenders(t *testing.T) {
+	svg, err := sample().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"<svg", "</svg>", "Coverage", "percent", "gzip", "equake",
+		"SRT", "BlackJack", "<rect", "<line",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 2 series x 3 categories = 6 bars + background + 2 legend swatches.
+	if n := strings.Count(svg, "<rect"); n != 9 {
+		t.Errorf("rect count = %d, want 9", n)
+	}
+}
+
+func TestSVGBarHeightsScale(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"a"},
+		Series:     []Series{{Name: "s", Values: []float64{50}}},
+		YMax:       100,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Plot height is 400-44-96 = 260; a 50/100 bar is 130 high.
+	if !strings.Contains(svg, `height="130.0"`) {
+		t.Errorf("expected 130-high bar in:\n%s", svg)
+	}
+}
+
+func TestSVGValidation(t *testing.T) {
+	bad := []*BarChart{
+		{},
+		{Categories: []string{"a"}},
+		{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{1, 2}}}},
+	}
+	for i, c := range bad {
+		if _, err := c.SVG(); err == nil {
+			t.Errorf("chart %d accepted", i)
+		}
+	}
+}
+
+func TestYMaxAutoRounding(t *testing.T) {
+	tests := []struct {
+		max  float64
+		want float64
+	}{
+		{0.9, 1}, {1.5, 2}, {4.3, 5}, {7.2, 10}, {34, 50}, {97, 100}, {130, 200},
+	}
+	for _, tt := range tests {
+		c := &BarChart{
+			Categories: []string{"a"},
+			Series:     []Series{{Name: "s", Values: []float64{tt.max}}},
+		}
+		if got := c.yMax(); got != tt.want {
+			t.Errorf("yMax(%v) = %v, want %v", tt.max, got, tt.want)
+		}
+	}
+	empty := &BarChart{Categories: []string{"a"}, Series: []Series{{Name: "s", Values: []float64{0}}}}
+	if got := empty.yMax(); got != 1 {
+		t.Errorf("yMax of zero data = %v, want 1", got)
+	}
+}
+
+func TestEscaping(t *testing.T) {
+	c := sample()
+	c.Title = `a<b>&"c"`
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(svg, "a<b>") {
+		t.Error("title not escaped")
+	}
+	if !strings.Contains(svg, "a&lt;b&gt;&amp;&quot;c&quot;") {
+		t.Error("escaped title missing")
+	}
+}
+
+func TestValuesClampedToAxis(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"a"},
+		Series:     []Series{{Name: "s", Values: []float64{-5}}},
+		YMax:       10,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, `height="0.0"`) {
+		t.Error("negative value should clamp to zero-height bar")
+	}
+}

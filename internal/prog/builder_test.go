@@ -1,0 +1,104 @@
+package prog
+
+import (
+	"strings"
+	"testing"
+
+	"blackjack/internal/isa"
+)
+
+func TestBuilderLabelsAndBranches(t *testing.T) {
+	b := NewBuilder("t")
+	b.Data(64)
+	b.Li(1, 3)
+	b.Label("loop")
+	b.Addi(1, 1, -1)
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "loop")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[2].Imm != 1 {
+		t.Errorf("branch target = %d, want 1", p.Code[2].Imm)
+	}
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if !m.Halted() {
+		t.Error("program did not halt")
+	}
+	if got := m.Reg(isa.IntReg(1)); got != 0 {
+		t.Errorf("r1 = %d, want 0", got)
+	}
+}
+
+func TestBuilderForwardBranch(t *testing.T) {
+	b := NewBuilder("fwd")
+	b.Data(8)
+	b.Li(1, 1)
+	b.Branch(isa.OpBne, 1, isa.ZeroReg, "end") // taken: skip the poison write
+	b.Li(2, 99)
+	b.Label("end")
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if got := m.Reg(isa.IntReg(2)); got != 0 {
+		t.Errorf("r2 = %d, want 0 (skipped)", got)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad")
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "nowhere") {
+		t.Errorf("Build() err = %v, want undefined-label error", err)
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup")
+	b.Label("x").Label("x").Halt()
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("Build() err = %v, want duplicate-label error", err)
+	}
+}
+
+func TestBuilderMemoryHelpers(t *testing.T) {
+	b := NewBuilder("mem")
+	b.Data(128)
+	b.InitWords(7)
+	b.Ld(1, isa.ZeroReg, 0) // r1 = 7
+	b.St(isa.ZeroReg, 1, 8) // mem[8] = 7
+	b.FLd(isa.FPReg(1), isa.ZeroReg, 0)
+	b.FSt(isa.ZeroReg, isa.FPReg(1), 16) // mem[16] = 7 (bits)
+	b.Mv(2, 1)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(100)
+	if got := m.ReadMem(8); got != 7 {
+		t.Errorf("mem[8] = %d, want 7", got)
+	}
+	if got := m.ReadMem(16); got != 7 {
+		t.Errorf("mem[16] = %d, want 7", got)
+	}
+	if got := m.Reg(isa.IntReg(2)); got != 7 {
+		t.Errorf("r2 = %d, want 7", got)
+	}
+}

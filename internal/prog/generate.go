@@ -1,0 +1,492 @@
+package prog
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"blackjack/internal/isa"
+)
+
+// Profile parameterizes a synthetic workload. The fields are the knobs that
+// determine the behaviours the paper's metrics depend on: instruction mix
+// (which backend unit classes are pressured), dependence structure (ILP and
+// hence IPC and issue burstiness), memory behaviour (cache miss rate) and
+// branch behaviour (misprediction rate).
+type Profile struct {
+	// Name identifies the workload; the built-in suite uses SPEC2000 names.
+	Name string
+	// Seed makes generation and execution fully deterministic.
+	Seed uint64
+
+	// Instruction mix: fraction of body operations in each category. The
+	// remainder (1 - sum) is plain integer ALU work. Fractions must be
+	// non-negative and sum to at most 1.
+	IntMulFrac float64
+	IntDivFrac float64
+	FPALUFrac  float64
+	FPMulFrac  float64
+	LoadFrac   float64
+	StoreFrac  float64
+
+	// ChainFrac is the probability that an operation's first source is the
+	// most recently written register of its stream, creating serial
+	// dependence chains. Higher values lower ILP and IPC.
+	ChainFrac float64
+
+	// Streams partitions the register pool into this many independent
+	// dependence streams (default 1): operations in different streams never
+	// depend on each other, so Streams is the workload's inherent ILP knob.
+	// Real programs get their ILP from exactly this kind of independent
+	// dataflow (distinct computations, unrolled iterations).
+	Streams int
+
+	// RandLoadFrac is the fraction of loads (and stores) that use a
+	// pseudo-random address spanning the whole working set rather than the
+	// strided stream. Combined with WorkingSetKB this sets the miss rate.
+	RandLoadFrac float64
+	// PtrChaseFrac is the fraction of loads whose address depends on the
+	// most recent load result (pointer chasing): these serialize cache/memory
+	// round-trips, the signature behaviour of the lowest-IPC benchmarks.
+	PtrChaseFrac float64
+	// ChaseSetKB is the footprint of the pointer-chase walk (rounded up to a
+	// power of two; defaults to WorkingSetKB). A footprint between the L1 and
+	// L2 sizes serializes L2 hits; beyond the L2 it serializes memory trips.
+	ChaseSetKB int
+	// WorkingSetKB is the data segment size (rounded up to a power of two,
+	// min 16KB). Working sets below the 64KB L1 always hit; beyond the 2MB
+	// L2, random accesses go to memory.
+	WorkingSetKB int
+	// Stride is the per-iteration advance of the sequential access stream in
+	// bytes.
+	Stride int64
+
+	// BranchEvery emits a conditional forward branch every N body operations
+	// (0 disables intra-body branches).
+	BranchEvery int
+	// DataDepBranchFrac is the fraction of those branches whose condition
+	// depends on pseudo-random data (hard to predict); the rest are
+	// loop-counter based (easy to predict).
+	DataDepBranchFrac float64
+	// SkipMax bounds the number of operations a taken forward branch skips
+	// (1..SkipMax).
+	SkipMax int
+
+	// BlockOps is the number of operations per block and Blocks the number
+	// of blocks in the loop body.
+	BlockOps int
+	// Blocks is the number of blocks in the loop body.
+	Blocks int
+}
+
+// Validate reports structural problems with the profile.
+func (p *Profile) Validate() error {
+	sum := p.IntMulFrac + p.IntDivFrac + p.FPALUFrac + p.FPMulFrac + p.LoadFrac + p.StoreFrac
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("prog: profile has no name")
+	case sum > 1.0+1e-9:
+		return fmt.Errorf("prog: %s: mix fractions sum to %.3f > 1", p.Name, sum)
+	case p.IntMulFrac < 0 || p.IntDivFrac < 0 || p.FPALUFrac < 0 || p.FPMulFrac < 0 ||
+		p.LoadFrac < 0 || p.StoreFrac < 0:
+		return fmt.Errorf("prog: %s: negative mix fraction", p.Name)
+	case p.ChainFrac < 0 || p.ChainFrac > 1:
+		return fmt.Errorf("prog: %s: ChainFrac %.3f out of [0,1]", p.Name, p.ChainFrac)
+	case p.RandLoadFrac < 0 || p.RandLoadFrac > 1:
+		return fmt.Errorf("prog: %s: RandLoadFrac %.3f out of [0,1]", p.Name, p.RandLoadFrac)
+	case p.PtrChaseFrac < 0 || p.PtrChaseFrac > 1:
+		return fmt.Errorf("prog: %s: PtrChaseFrac %.3f out of [0,1]", p.Name, p.PtrChaseFrac)
+	case p.ChaseSetKB < 0:
+		return fmt.Errorf("prog: %s: negative ChaseSetKB", p.Name)
+	case p.DataDepBranchFrac < 0 || p.DataDepBranchFrac > 1:
+		return fmt.Errorf("prog: %s: DataDepBranchFrac %.3f out of [0,1]", p.Name, p.DataDepBranchFrac)
+	case p.BlockOps <= 0 || p.Blocks <= 0:
+		return fmt.Errorf("prog: %s: BlockOps/Blocks must be positive", p.Name)
+	case p.BranchEvery < 0 || p.SkipMax < 0:
+		return fmt.Errorf("prog: %s: negative branch parameters", p.Name)
+	case p.Streams < 0 || p.Streams > MaxStreams:
+		return fmt.Errorf("prog: %s: Streams %d out of [0,%d]", p.Name, p.Streams, MaxStreams)
+	}
+	return nil
+}
+
+// Register conventions used by generated programs.
+const (
+	regCounter = isa.Reg(1)  // remaining loop iterations
+	regIdx     = isa.Reg(2)  // sequential stream index
+	regNoise   = isa.Reg(3)  // xorshift64 state
+	regCond    = isa.Reg(4)  // branch condition scratch
+	regMask    = isa.Reg(5)  // working-set mask
+	regAddr    = isa.Reg(6)  // random address scratch
+	regChase   = isa.Reg(7)  // pointer-chase cursor
+	regChMask  = isa.Reg(28) // pointer-chase footprint mask
+	regSh13    = isa.Reg(24)
+	regSh7     = isa.Reg(25)
+	regSh17    = isa.Reg(26)
+	regShCond  = isa.Reg(27) // shift amount for condition extraction
+
+	intPoolBase = 8 // r8..r23
+	fpPoolBase  = 8 // f8..f23
+	poolSize    = 16
+
+	// MaxStreams bounds Profile.Streams so every stream owns at least two
+	// pool registers.
+	MaxStreams = poolSize / 2
+)
+
+// generationIterations is the nominal loop trip count; simulations stop at an
+// instruction cap long before this is exhausted.
+const generationIterations = int64(1) << 40
+
+// nextPow2 rounds v up to a power of two.
+func nextPow2(v int) int {
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+// Generate builds the synthetic program described by the profile.
+func Generate(p Profile) (*isa.Program, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(int64(p.Seed) ^ 0x5bd1e995))
+
+	wsBytes := nextPow2(max(p.WorkingSetKB, 16) * 1024)
+	b := NewBuilder(p.Name)
+	b.Data(wsBytes)
+
+	// Seed the entire data segment with finite doubles in [1,2): usable both
+	// as FP values and as varied integer bit patterns (pointer chasing in
+	// particular needs varied values everywhere it can land).
+	initWords := wsBytes / 8
+	words := make([]uint64, initWords)
+	for i := range words {
+		words[i] = math.Float64bits(1 + rng.Float64())
+	}
+	b.InitWords(words...)
+
+	g := &generator{p: p, rng: rng, b: b, wsBytes: wsBytes}
+	g.preamble()
+	b.Label("loop")
+	g.body()
+	g.postamble()
+	b.Halt()
+	return b.Build()
+}
+
+// generator holds per-generation state.
+type generator struct {
+	p       Profile
+	rng     *rand.Rand
+	b       *Builder
+	wsBytes int
+
+	// Per-stream dependence state: stream s owns the pool registers whose
+	// index is congruent to s modulo the stream count.
+	lastIntDest [MaxStreams]isa.Reg // most recent int write per stream
+	lastFPDest  [MaxStreams]isa.Reg
+	intRR       [MaxStreams]int // per-stream round-robin cursors
+	fpRR        [MaxStreams]int
+
+	opCount   int // body operations emitted, for branch pacing
+	skipLeft  int // operations until the pending forward-branch label
+	skipLabel string
+	skipSeq   int
+}
+
+func (g *generator) preamble() {
+	b := g.b
+	b.Li(regCounter, generationIterations)
+	b.Li(regIdx, 0)
+	b.Li(regNoise, int64(g.p.Seed|1))
+	b.Li(regMask, int64(g.wsBytes-1))
+	b.Li(regChase, int64(g.p.Seed*2654435761))
+	b.Li(regChMask, int64(g.chaseBytes()-1))
+	b.Li(regSh13, 13)
+	b.Li(regSh7, 7)
+	b.Li(regSh17, 17)
+	b.Li(regShCond, 21)
+	for i := 0; i < poolSize; i++ {
+		b.Ld(isa.IntReg(intPoolBase+i), isa.ZeroReg, int64(8*i))
+		b.FLd(isa.FPReg(fpPoolBase+i), isa.ZeroReg, int64(8*(poolSize+i)))
+	}
+	for s := 0; s < g.streams(); s++ {
+		g.lastIntDest[s] = isa.IntReg(intPoolBase + s)
+		g.lastFPDest[s] = isa.FPReg(fpPoolBase + s)
+	}
+}
+
+// chaseBytes returns the pointer-chase footprint in bytes (power of two,
+// bounded by the working set).
+func (g *generator) chaseBytes() int {
+	kb := g.p.ChaseSetKB
+	if kb <= 0 {
+		kb = g.p.WorkingSetKB
+	}
+	return min(nextPow2(max(kb, 16)*1024), g.wsBytes)
+}
+
+// streams returns the effective stream count (Streams 0 means 1).
+func (g *generator) streams() int {
+	if g.p.Streams <= 0 {
+		return 1
+	}
+	return g.p.Streams
+}
+
+// stream returns the dependence stream the current operation belongs to;
+// operations rotate through streams so independent work interleaves in
+// program order (the shape that gives an out-of-order core its ILP).
+func (g *generator) stream() int { return g.opCount % g.streams() }
+
+// streamReg returns the i-th pool register of stream s.
+func streamReg(base, s, i, streams int) int { return base + s + streams*i }
+
+func (g *generator) postamble() {
+	b := g.b
+	// Close any pending forward-branch target before the backedge.
+	g.flushSkip()
+	b.OpImm(isa.OpAddi, regIdx, regIdx, g.p.Stride)
+	b.Addi(regCounter, regCounter, -1)
+	b.Branch(isa.OpBne, regCounter, isa.ZeroReg, "loop")
+}
+
+// emit registers one body operation against branch pacing and pending-skip
+// bookkeeping, then emits it.
+func (g *generator) emit(in isa.Inst) {
+	g.b.Emit(in)
+	if g.skipLeft > 0 {
+		g.skipLeft--
+		if g.skipLeft == 0 {
+			g.b.Label(g.skipLabel)
+		}
+	}
+}
+
+func (g *generator) flushSkip() {
+	if g.skipLeft > 0 {
+		g.skipLeft = 0
+		g.b.Label(g.skipLabel)
+	}
+}
+
+// intSrc picks an integer source register from the current stream, honoring
+// ChainFrac.
+func (g *generator) intSrc() isa.Reg {
+	s := g.stream()
+	if g.rng.Float64() < g.p.ChainFrac {
+		return g.lastIntDest[s]
+	}
+	per := poolSize / g.streams()
+	return isa.IntReg(streamReg(intPoolBase, s, g.rng.Intn(per), g.streams()))
+}
+
+func (g *generator) fpSrc() isa.Reg {
+	s := g.stream()
+	if g.rng.Float64() < g.p.ChainFrac {
+		return g.lastFPDest[s]
+	}
+	per := poolSize / g.streams()
+	return isa.FPReg(streamReg(fpPoolBase, s, g.rng.Intn(per), g.streams()))
+}
+
+func (g *generator) intDest() isa.Reg {
+	s := g.stream()
+	per := poolSize / g.streams()
+	g.intRR[s] = (g.intRR[s] + 1) % per
+	r := isa.IntReg(streamReg(intPoolBase, s, g.intRR[s], g.streams()))
+	g.lastIntDest[s] = r
+	return r
+}
+
+func (g *generator) fpDest() isa.Reg {
+	s := g.stream()
+	per := poolSize / g.streams()
+	g.fpRR[s] = (g.fpRR[s] + 1) % per
+	r := isa.FPReg(streamReg(fpPoolBase, s, g.fpRR[s], g.streams()))
+	g.lastFPDest[s] = r
+	return r
+}
+
+// body emits Blocks blocks of BlockOps operations each.
+func (g *generator) body() {
+	for blk := 0; blk < g.p.Blocks; blk++ {
+		g.noiseUpdate()
+		for op := 0; op < g.p.BlockOps; op++ {
+			g.maybeBranch()
+			g.emitOne()
+			g.opCount++
+		}
+	}
+}
+
+// noiseUpdate advances the xorshift64 state in regNoise.
+func (g *generator) noiseUpdate() {
+	// The noise update must not sit inside a pending skip region: if it were
+	// skipped the noise stream would stall and data-dependent branches would
+	// become constant.
+	g.flushSkip()
+	g.emit(isa.Inst{Op: isa.OpShl, Rd: regCond, Rs1: regNoise, Rs2: regSh13})
+	g.emit(isa.Inst{Op: isa.OpXor, Rd: regNoise, Rs1: regNoise, Rs2: regCond})
+	g.emit(isa.Inst{Op: isa.OpShr, Rd: regCond, Rs1: regNoise, Rs2: regSh7})
+	g.emit(isa.Inst{Op: isa.OpXor, Rd: regNoise, Rs1: regNoise, Rs2: regCond})
+	g.emit(isa.Inst{Op: isa.OpShl, Rd: regCond, Rs1: regNoise, Rs2: regSh17})
+	g.emit(isa.Inst{Op: isa.OpXor, Rd: regNoise, Rs1: regNoise, Rs2: regCond})
+}
+
+// maybeBranch emits a conditional forward skip when one is due.
+func (g *generator) maybeBranch() {
+	if g.p.BranchEvery == 0 || g.opCount == 0 || g.opCount%g.p.BranchEvery != 0 {
+		return
+	}
+	if g.skipLeft > 0 {
+		return // no nested skips
+	}
+	if g.rng.Float64() < g.p.DataDepBranchFrac {
+		// Hard to predict: condition from the high bits of the noise stream.
+		g.emit(isa.Inst{Op: isa.OpShr, Rd: regCond, Rs1: regNoise, Rs2: regShCond})
+		g.emit(isa.Inst{Op: isa.OpAndi, Rd: regCond, Rs1: regCond, Imm: 1})
+	} else {
+		// Easy to predict: condition from a loop-counter bit, constant for
+		// long stretches of iterations.
+		bit := int64(1) << (4 + g.rng.Intn(6))
+		g.emit(isa.Inst{Op: isa.OpAndi, Rd: regCond, Rs1: regCounter, Imm: bit})
+	}
+	skip := 1 + g.rng.Intn(max(g.p.SkipMax, 1))
+	g.skipSeq++
+	g.skipLabel = fmt.Sprintf("skip%d", g.skipSeq)
+	g.skipLeft = skip
+	g.b.Branch(isa.OpBeq, regCond, isa.ZeroReg, g.skipLabel)
+}
+
+// emitOne draws one operation from the mix and emits it.
+func (g *generator) emitOne() {
+	p := &g.p
+	x := g.rng.Float64()
+	switch {
+	case x < p.LoadFrac:
+		g.emitLoad()
+	case x < p.LoadFrac+p.StoreFrac:
+		g.emitStore()
+	case x < p.LoadFrac+p.StoreFrac+p.FPALUFrac:
+		g.emitFPALU()
+	case x < p.LoadFrac+p.StoreFrac+p.FPALUFrac+p.FPMulFrac:
+		g.emitFPMul()
+	case x < p.LoadFrac+p.StoreFrac+p.FPALUFrac+p.FPMulFrac+p.IntMulFrac:
+		g.emit(isa.Inst{Op: isa.OpMul, Rd: g.intDest(), Rs1: g.intSrc(), Rs2: g.intSrc()})
+	case x < p.LoadFrac+p.StoreFrac+p.FPALUFrac+p.FPMulFrac+p.IntMulFrac+p.IntDivFrac:
+		op := isa.OpDiv
+		if g.rng.Intn(2) == 0 {
+			op = isa.OpRem
+		}
+		g.emit(isa.Inst{Op: op, Rd: g.intDest(), Rs1: g.intSrc(), Rs2: g.intSrc()})
+	default:
+		g.emitIntALU()
+	}
+}
+
+// fpShare of loads/stores: in FP-heavy profiles most memory traffic is FP.
+func (g *generator) fpMemShare() float64 {
+	fp := g.p.FPALUFrac + g.p.FPMulFrac
+	intw := 1 - g.p.LoadFrac - g.p.StoreFrac - fp
+	if fp+intw <= 0 {
+		return 0
+	}
+	return fp / (fp + intw)
+}
+
+func (g *generator) emitLoad() {
+	if g.rng.Float64() < g.p.PtrChaseFrac {
+		// Pointer chase: the next address depends on the value just loaded
+		// (serializing memory round-trips); mixing in the noise register
+		// keeps the walk covering the working set instead of collapsing
+		// into a short cached cycle.
+		g.emit(isa.Inst{Op: isa.OpAdd, Rd: regAddr, Rs1: regChase, Rs2: regNoise})
+		g.emit(isa.Inst{Op: isa.OpAnd, Rd: regAddr, Rs1: regAddr, Rs2: regChMask})
+		g.emit(isa.Inst{Op: isa.OpLd, Rd: regChase, Rs1: regAddr})
+		return
+	}
+	fp := g.rng.Float64() < g.fpMemShare()
+	var dst isa.Reg
+	op := isa.OpLd
+	if fp {
+		op = isa.OpFLd
+		dst = g.fpDest()
+	} else {
+		dst = g.intDest()
+	}
+	if g.rng.Float64() < g.p.RandLoadFrac {
+		// Random address spanning the working set.
+		g.emit(isa.Inst{Op: isa.OpAnd, Rd: regAddr, Rs1: regNoise, Rs2: regMask})
+		g.emit(isa.Inst{Op: op, Rd: dst, Rs1: regAddr})
+	} else {
+		disp := int64(8 * (g.opCount % 512))
+		g.emit(isa.Inst{Op: op, Rd: dst, Rs1: regIdx, Imm: disp})
+	}
+}
+
+func (g *generator) emitStore() {
+	fp := g.rng.Float64() < g.fpMemShare()
+	var src isa.Reg
+	op := isa.OpSt
+	if fp {
+		op = isa.OpFSt
+		src = g.fpSrc()
+	} else {
+		src = g.intSrc()
+	}
+	if g.rng.Float64() < g.p.RandLoadFrac {
+		g.emit(isa.Inst{Op: isa.OpAnd, Rd: regAddr, Rs1: regNoise, Rs2: regMask})
+		g.emit(isa.Inst{Op: op, Rs1: regAddr, Rs2: src})
+	} else {
+		disp := int64(8 * (g.opCount % 512))
+		g.emit(isa.Inst{Op: op, Rs1: regIdx, Rs2: src, Imm: disp})
+	}
+}
+
+func (g *generator) emitFPALU() {
+	r := g.rng.Float64()
+	switch {
+	case r < 0.05:
+		g.emit(isa.Inst{Op: isa.OpCvtIF, Rd: g.fpDest(), Rs1: g.intSrc()})
+	case r < 0.10:
+		g.emit(isa.Inst{Op: isa.OpCvtFI, Rd: g.intDest(), Rs1: g.fpSrc()})
+	case r < 0.20:
+		g.emit(isa.Inst{Op: isa.OpFNeg, Rd: g.fpDest(), Rs1: g.fpSrc()})
+	case r < 0.60:
+		g.emit(isa.Inst{Op: isa.OpFAdd, Rd: g.fpDest(), Rs1: g.fpSrc(), Rs2: g.fpSrc()})
+	default:
+		g.emit(isa.Inst{Op: isa.OpFSub, Rd: g.fpDest(), Rs1: g.fpSrc(), Rs2: g.fpSrc()})
+	}
+}
+
+func (g *generator) emitFPMul() {
+	if g.rng.Float64() < 0.08 {
+		g.emit(isa.Inst{Op: isa.OpFDiv, Rd: g.fpDest(), Rs1: g.fpSrc(), Rs2: g.fpSrc()})
+		return
+	}
+	g.emit(isa.Inst{Op: isa.OpFMul, Rd: g.fpDest(), Rs1: g.fpSrc(), Rs2: g.fpSrc()})
+}
+
+var intALUOps = []isa.Op{
+	isa.OpAdd, isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+	isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpAddi, isa.OpAndi, isa.OpXori,
+}
+
+func (g *generator) emitIntALU() {
+	op := intALUOps[g.rng.Intn(len(intALUOps))]
+	in := isa.Inst{Op: op, Rd: g.intDest(), Rs1: g.intSrc()}
+	if in.HasImm() {
+		in.Imm = int64(g.rng.Intn(1 << 12))
+	} else {
+		in.Rs2 = g.intSrc()
+		if op == isa.OpShl || op == isa.OpShr {
+			// Keep shift amounts small so values do not collapse to zero.
+			in.Rs2 = regSh7
+		}
+	}
+	g.emit(in)
+}

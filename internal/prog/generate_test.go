@@ -1,0 +1,280 @@
+package prog
+
+import (
+	"testing"
+
+	"blackjack/internal/isa"
+)
+
+func testProfile() Profile {
+	return Profile{
+		Name: "test", Seed: 42,
+		FPALUFrac: 0.1, FPMulFrac: 0.05, IntMulFrac: 0.02, IntDivFrac: 0.01,
+		LoadFrac: 0.2, StoreFrac: 0.08,
+		ChainFrac: 0.3, RandLoadFrac: 0.2, WorkingSetKB: 64, Stride: 136,
+		BranchEvery: 8, DataDepBranchFrac: 0.3, SkipMax: 3,
+		BlockOps: 20, Blocks: 4,
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	p, err := Generate(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Code) < 50 {
+		t.Errorf("generated only %d instructions", len(p.Code))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Code) != len(b.Code) {
+		t.Fatalf("lengths differ: %d vs %d", len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs: %v vs %v", i, a.Code[i], b.Code[i])
+		}
+	}
+}
+
+func TestGenerateSeedChangesProgram(t *testing.T) {
+	p1 := testProfile()
+	p2 := testProfile()
+	p2.Seed = 43
+	a, err := Generate(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Code) == len(b.Code)
+	if same {
+		for i := range a.Code {
+			if a.Code[i] != b.Code[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratedProgramRunsWithoutHalting(t *testing.T) {
+	p, err := Generate(testProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	if got := m.Run(n); got != n {
+		t.Fatalf("retired %d, want %d (halted=%v at pc=%d)", got, n, m.Halted(), m.PC())
+	}
+	if m.Stores() == 0 {
+		t.Error("no stores in 50k instructions; store stream unusable for detection")
+	}
+}
+
+func TestGeneratedMixRoughlyMatchesProfile(t *testing.T) {
+	pr := testProfile()
+	pr.BlockOps = 200
+	pr.Blocks = 10
+	p, err := Generate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var loads, stores, fpalu, fpmul, imul, idiv, total int
+	for _, in := range p.Code {
+		total++
+		switch {
+		case in.IsLoad():
+			loads++
+		case in.IsStore():
+			stores++
+		}
+		switch in.Class() {
+		case isa.UnitFPALU:
+			fpalu++
+		case isa.UnitFPMul:
+			fpmul++
+		case isa.UnitIntMul:
+			imul++
+		case isa.UnitIntDiv:
+			idiv++
+		}
+	}
+	frac := func(n int) float64 { return float64(n) / float64(total) }
+	// Overhead instructions (noise updates, address computation, branch
+	// condition setup) dilute the nominal mix; check generous windows.
+	checks := []struct {
+		name   string
+		got    float64
+		lo, hi float64
+	}{
+		{"loads", frac(loads), 0.10, 0.30},
+		{"stores", frac(stores), 0.03, 0.15},
+		{"fpalu", frac(fpalu), 0.04, 0.18},
+		{"fpmul", frac(fpmul), 0.01, 0.12},
+		{"intmul", frac(imul), 0.003, 0.06},
+		{"intdiv", frac(idiv), 0.001, 0.04},
+	}
+	for _, c := range checks {
+		if c.got < c.lo || c.got > c.hi {
+			t.Errorf("%s fraction = %.4f, want in [%.3f, %.3f]", c.name, c.got, c.lo, c.hi)
+		}
+	}
+}
+
+func TestGenerateRejectsBadProfiles(t *testing.T) {
+	tests := []struct {
+		name string
+		edit func(*Profile)
+	}{
+		{"no name", func(p *Profile) { p.Name = "" }},
+		{"mix over 1", func(p *Profile) { p.LoadFrac = 0.9; p.FPALUFrac = 0.9 }},
+		{"negative fraction", func(p *Profile) { p.StoreFrac = -0.1 }},
+		{"chain out of range", func(p *Profile) { p.ChainFrac = 1.5 }},
+		{"randload out of range", func(p *Profile) { p.RandLoadFrac = -1 }},
+		{"datadep out of range", func(p *Profile) { p.DataDepBranchFrac = 2 }},
+		{"zero block ops", func(p *Profile) { p.BlockOps = 0 }},
+		{"negative branch every", func(p *Profile) { p.BranchEvery = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := testProfile()
+			tt.edit(&p)
+			if _, err := Generate(p); err == nil {
+				t.Error("Generate() accepted invalid profile")
+			}
+		})
+	}
+}
+
+func TestDataDependentBranchesActuallyVary(t *testing.T) {
+	// A profile with only data-dependent branches must produce branches that
+	// are sometimes taken and sometimes not within a modest window;
+	// otherwise the "hard to predict" knob is broken.
+	pr := testProfile()
+	pr.DataDepBranchFrac = 1.0
+	pr.BranchEvery = 4
+	p, err := Generate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	taken, notTaken := 0, 0
+	for i := 0; i < 30000 && !m.Halted(); i++ {
+		pc := m.PC()
+		in := p.Code[pc]
+		m.Step()
+		if in.IsCondBranch() && in.Op == isa.OpBeq && in.Imm > int64(pc)+1 {
+			if m.PC() != pc+1 {
+				taken++
+			} else {
+				notTaken++
+			}
+		}
+	}
+	if taken == 0 || notTaken == 0 {
+		t.Errorf("forward data-dependent branches: taken=%d notTaken=%d, want both nonzero", taken, notTaken)
+	}
+}
+
+// Streams must partition the dependence structure: every pool-register
+// destination of a stream-s operation lies in stream s's congruence class,
+// and non-chain sources stay within the same class. We verify the weaker,
+// directly observable property that pool destinations are spread over all
+// stream classes (no class starves).
+func TestStreamsSpreadDestinations(t *testing.T) {
+	pr := testProfile()
+	pr.Streams = 4
+	pr.BlockOps = 120
+	p, err := Generate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCounts := make([]int, pr.Streams)
+	for _, in := range p.Code {
+		if !in.WritesRd() {
+			continue
+		}
+		r := int(in.Rd)
+		if in.Rd.IsFP() {
+			r = int(in.Rd) - isa.NumIntRegs
+		}
+		if r >= intPoolBase && r < intPoolBase+poolSize {
+			classCounts[(r-intPoolBase)%pr.Streams]++
+		}
+	}
+	for s, n := range classCounts {
+		if n == 0 {
+			t.Errorf("stream %d received no destinations", s)
+		}
+	}
+}
+
+// Pointer chasing emits load-to-load dependent sequences; the generated
+// program must contain chase loads through regChase.
+func TestPtrChaseEmitsDependentLoads(t *testing.T) {
+	pr := testProfile()
+	pr.PtrChaseFrac = 0.5
+	pr.ChaseSetKB = 64
+	p, err := Generate(pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chases := 0
+	for _, in := range p.Code {
+		if in.Op == isa.OpLd && in.Rd == regChase {
+			chases++
+		}
+	}
+	if chases == 0 {
+		t.Fatal("no chase loads generated")
+	}
+	// And the program still runs.
+	m, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Run(20000); got != 20000 {
+		t.Errorf("halted after %d instructions", got)
+	}
+}
+
+// ChaseSetKB must be bounded by the working set and default to it.
+func TestChaseBytesBounds(t *testing.T) {
+	g := &generator{p: Profile{WorkingSetKB: 64, ChaseSetKB: 0}, wsBytes: 64 * 1024}
+	if got := g.chaseBytes(); got != 64*1024 {
+		t.Errorf("default chase set = %d, want ws", got)
+	}
+	g = &generator{p: Profile{WorkingSetKB: 64, ChaseSetKB: 1024}, wsBytes: 64 * 1024}
+	if got := g.chaseBytes(); got != 64*1024 {
+		t.Errorf("chase set = %d, want clamped to ws", got)
+	}
+	g = &generator{p: Profile{WorkingSetKB: 1024, ChaseSetKB: 128}, wsBytes: 1024 * 1024}
+	if got := g.chaseBytes(); got != 128*1024 {
+		t.Errorf("chase set = %d, want 128KB", got)
+	}
+}

@@ -1,0 +1,202 @@
+package prog
+
+import (
+	"fmt"
+	"sort"
+
+	"blackjack/internal/isa"
+)
+
+// The built-in workload suite mirrors the 16 SPEC2000 benchmarks the paper
+// evaluates (Section 5). Each profile is tuned to reproduce the *character*
+// the paper's results depend on, not the benchmark's semantics:
+//
+//   - the relative single-thread IPC ordering of Figure 7 (equake lowest,
+//     sixtrack highest);
+//   - FP codes pressure the 2-way FP ALU / FP multiplier backends (which is
+//     what depresses SRT's accidental backend diversity, Section 6.1);
+//   - low-IPC codes (equake) let trailing fetch outpace issue, producing
+//     trailing-trailing interference;
+//   - high-IPC int codes (gzip, crafty, bzip) issue from both contexts in the
+//     same cycle more often (Figure 6), producing leading-trailing
+//     interference (Figure 5).
+//
+// EXPERIMENTS.md records paper-vs-measured values per benchmark.
+var suite = []Profile{
+	{
+		// equake: FP, memory-bound, lowest IPC; paper notes elevated
+		// trailing-trailing interference (1.5%) from its low IPC and FP-unit
+		// pressure.
+		Name: "equake", Seed: 101,
+		FPALUFrac: 0.22, FPMulFrac: 0.14, LoadFrac: 0.26, StoreFrac: 0.07,
+		ChainFrac: 0.72, Streams: 1, RandLoadFrac: 0.45, PtrChaseFrac: 0.08, ChaseSetKB: 128, WorkingSetKB: 8192, Stride: 264,
+		BranchEvery: 14, DataDepBranchFrac: 0.25, SkipMax: 2,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// swim: FP streaming stencil; large strided working set.
+		Name: "swim", Seed: 102,
+		FPALUFrac: 0.26, FPMulFrac: 0.16, LoadFrac: 0.25, StoreFrac: 0.09,
+		ChainFrac: 0.62, Streams: 2, RandLoadFrac: 0.10, WorkingSetKB: 8192, Stride: 2048,
+		BranchEvery: 22, DataDepBranchFrac: 0.05, SkipMax: 2,
+		BlockOps: 28, Blocks: 8,
+	},
+	{
+		// art: FP neural-net, notoriously cache-hostile.
+		Name: "art", Seed: 103,
+		FPALUFrac: 0.24, FPMulFrac: 0.14, LoadFrac: 0.28, StoreFrac: 0.05,
+		ChainFrac: 0.55, Streams: 2, RandLoadFrac: 0.60, PtrChaseFrac: 0.03, ChaseSetKB: 128, WorkingSetKB: 4096, Stride: 136,
+		BranchEvery: 16, DataDepBranchFrac: 0.15, SkipMax: 2,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// mgrid: FP multigrid stencil, strided.
+		Name: "mgrid", Seed: 104,
+		FPALUFrac: 0.30, FPMulFrac: 0.18, LoadFrac: 0.24, StoreFrac: 0.06,
+		ChainFrac: 0.52, Streams: 3, RandLoadFrac: 0.08, WorkingSetKB: 4096, Stride: 776,
+		BranchEvery: 26, DataDepBranchFrac: 0.03, SkipMax: 2,
+		BlockOps: 30, Blocks: 8,
+	},
+	{
+		// applu: FP PDE solver.
+		Name: "applu", Seed: 105,
+		FPALUFrac: 0.28, FPMulFrac: 0.18, IntDivFrac: 0.002, LoadFrac: 0.23, StoreFrac: 0.08,
+		ChainFrac: 0.50, Streams: 3, RandLoadFrac: 0.10, WorkingSetKB: 2048, Stride: 520,
+		BranchEvery: 24, DataDepBranchFrac: 0.04, SkipMax: 2,
+		BlockOps: 28, Blocks: 8,
+	},
+	{
+		// fma3d: FP crash simulation, mixed control.
+		Name: "fma3d", Seed: 106,
+		FPALUFrac: 0.26, FPMulFrac: 0.16, LoadFrac: 0.22, StoreFrac: 0.08,
+		ChainFrac: 0.46, Streams: 3, RandLoadFrac: 0.18, WorkingSetKB: 1024, Stride: 264,
+		BranchEvery: 18, DataDepBranchFrac: 0.10, SkipMax: 2,
+		BlockOps: 26, Blocks: 8,
+	},
+	{
+		// gcc: INT, branchy with moderate working set.
+		Name: "gcc", Seed: 107,
+		IntMulFrac: 0.01, LoadFrac: 0.25, StoreFrac: 0.10,
+		ChainFrac: 0.44, Streams: 4, RandLoadFrac: 0.30, WorkingSetKB: 512, Stride: 136,
+		BranchEvery: 6, DataDepBranchFrac: 0.30, SkipMax: 3,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// facerec: FP image processing.
+		Name: "facerec", Seed: 108,
+		FPALUFrac: 0.24, FPMulFrac: 0.18, LoadFrac: 0.22, StoreFrac: 0.06,
+		ChainFrac: 0.42, Streams: 4, RandLoadFrac: 0.12, WorkingSetKB: 512, Stride: 264,
+		BranchEvery: 16, DataDepBranchFrac: 0.08, SkipMax: 2,
+		BlockOps: 26, Blocks: 8,
+	},
+	{
+		// wupwise: FP quantum chromodynamics, multiplier heavy.
+		Name: "wupwise", Seed: 109,
+		FPALUFrac: 0.20, FPMulFrac: 0.24, LoadFrac: 0.20, StoreFrac: 0.07,
+		ChainFrac: 0.30, Streams: 6, RandLoadFrac: 0.04, WorkingSetKB: 128, Stride: 264,
+		BranchEvery: 20, DataDepBranchFrac: 0.05, SkipMax: 2,
+		BlockOps: 28, Blocks: 8,
+	},
+	{
+		// bzip: INT compressor; paper: lowest BlackJack coverage (94%) with
+		// high leading-trailing interference (5.6%).
+		Name: "bzip", Seed: 110,
+		IntMulFrac: 0.01, LoadFrac: 0.24, StoreFrac: 0.09,
+		ChainFrac: 0.26, Streams: 6, RandLoadFrac: 0.15, WorkingSetKB: 128, Stride: 136,
+		BranchEvery: 6, DataDepBranchFrac: 0.35, SkipMax: 3,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// apsi: FP meteorology.
+		Name: "apsi", Seed: 111,
+		FPALUFrac: 0.24, FPMulFrac: 0.16, IntMulFrac: 0.01, LoadFrac: 0.20, StoreFrac: 0.08,
+		ChainFrac: 0.22, Streams: 6, RandLoadFrac: 0.05, WorkingSetKB: 64, Stride: 136,
+		BranchEvery: 14, DataDepBranchFrac: 0.08, SkipMax: 2,
+		BlockOps: 26, Blocks: 8,
+	},
+	{
+		// crafty: INT chess, high ILP, branchy.
+		Name: "crafty", Seed: 112,
+		IntMulFrac: 0.02, LoadFrac: 0.22, StoreFrac: 0.06,
+		ChainFrac: 0.18, Streams: 7, RandLoadFrac: 0.08, WorkingSetKB: 64, Stride: 136,
+		BranchEvery: 6, DataDepBranchFrac: 0.22, SkipMax: 3,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// eon: INT/FP mixed ray tracer.
+		Name: "eon", Seed: 113,
+		FPALUFrac: 0.10, FPMulFrac: 0.08, IntMulFrac: 0.02, LoadFrac: 0.22, StoreFrac: 0.08,
+		ChainFrac: 0.24, Streams: 6, RandLoadFrac: 0.05, WorkingSetKB: 32, Stride: 136,
+		BranchEvery: 10, DataDepBranchFrac: 0.12, SkipMax: 2,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// gzip: INT compressor; paper: lowest single-context issue fraction
+		// (54%, Figure 6) and highest leading-trailing interference (7.0%).
+		Name: "gzip", Seed: 114,
+		IntMulFrac: 0.01, LoadFrac: 0.22, StoreFrac: 0.08,
+		ChainFrac: 0.16, Streams: 7, RandLoadFrac: 0.06, WorkingSetKB: 32, Stride: 136,
+		BranchEvery: 7, DataDepBranchFrac: 0.25, SkipMax: 3,
+		BlockOps: 24, Blocks: 8,
+	},
+	{
+		// vortex: INT database, dominated by basic integer ALU work; paper:
+		// best coverage for both SRT (41%) and BlackJack (99%) because the
+		// 4-way integer ALU backend gives diversity the best odds.
+		Name: "vortex", Seed: 115,
+		IntMulFrac: 0.005, LoadFrac: 0.20, StoreFrac: 0.08,
+		ChainFrac: 0.10, Streams: 8, RandLoadFrac: 0.03, WorkingSetKB: 64, Stride: 136,
+		BranchEvery: 14, DataDepBranchFrac: 0.04, SkipMax: 2,
+		BlockOps: 26, Blocks: 8,
+	},
+	{
+		// sixtrack: FP particle tracking, highest IPC; paper: SRT's worst
+		// coverage (25%) because its FP work concentrates on 2-way backends.
+		Name: "sixtrack", Seed: 116,
+		FPALUFrac: 0.28, FPMulFrac: 0.20, LoadFrac: 0.18, StoreFrac: 0.06,
+		ChainFrac: 0.10, Streams: 8, RandLoadFrac: 0.02, WorkingSetKB: 16, Stride: 136,
+		BranchEvery: 22, DataDepBranchFrac: 0.03, SkipMax: 2,
+		BlockOps: 30, Blocks: 8,
+	},
+}
+
+// BenchmarkNames returns the names of the built-in workload suite in the
+// paper's Figure 7 order (increasing IPC).
+func BenchmarkNames() []string {
+	names := make([]string, len(suite))
+	for i, p := range suite {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// ProfileByName returns a copy of the named built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range suite {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	known := BenchmarkNames()
+	sort.Strings(known)
+	return Profile{}, fmt.Errorf("prog: unknown benchmark %q (known: %v)", name, known)
+}
+
+// Benchmark generates the named built-in workload.
+func Benchmark(name string) (*isa.Program, error) {
+	p, err := ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p)
+}
+
+// MustBenchmark is Benchmark for the built-in suite, panicking on unknown
+// names; intended for tests and examples where the name is a literal.
+func MustBenchmark(name string) *isa.Program {
+	pr, err := Benchmark(name)
+	if err != nil {
+		panic(err)
+	}
+	return pr
+}

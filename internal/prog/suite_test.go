@@ -1,0 +1,95 @@
+package prog
+
+import (
+	"testing"
+
+	"blackjack/internal/isa"
+)
+
+func TestSuiteHas16Benchmarks(t *testing.T) {
+	names := BenchmarkNames()
+	if len(names) != 16 {
+		t.Fatalf("suite has %d benchmarks, want 16", len(names))
+	}
+	// Figure 7 order (increasing IPC).
+	want := []string{
+		"equake", "swim", "art", "mgrid", "applu", "fma3d", "gcc", "facerec",
+		"wupwise", "bzip", "apsi", "crafty", "eon", "gzip", "vortex", "sixtrack",
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+}
+
+func TestAllSuiteProfilesValidateAndGenerate(t *testing.T) {
+	for _, name := range BenchmarkNames() {
+		t.Run(name, func(t *testing.T) {
+			p, err := ProfileByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			prog, err := Generate(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := isa.NewMachine(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 20000
+			if got := m.Run(n); got != n {
+				t.Fatalf("%s halted after %d instructions", name, got)
+			}
+			if m.Stores() == 0 {
+				t.Errorf("%s committed no stores in %d instructions", name, n)
+			}
+		})
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("nope"); err == nil {
+		t.Error("ProfileByName(nope) = nil error, want error")
+	}
+	if _, err := Benchmark("nope"); err == nil {
+		t.Error("Benchmark(nope) = nil error, want error")
+	}
+}
+
+func TestMustBenchmarkPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBenchmark(nope) did not panic")
+		}
+	}()
+	MustBenchmark("nope")
+}
+
+// The suite must cover both integer-dominated and FP-dominated workloads so
+// the backend-way pressure effects in the paper are reproducible.
+func TestSuiteCoversIntAndFP(t *testing.T) {
+	var fpHeavy, intHeavy int
+	for _, name := range BenchmarkNames() {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.FPALUFrac+p.FPMulFrac > 0.3 {
+			fpHeavy++
+		}
+		if p.FPALUFrac+p.FPMulFrac == 0 {
+			intHeavy++
+		}
+	}
+	if fpHeavy < 5 {
+		t.Errorf("only %d FP-heavy profiles, want >=5", fpHeavy)
+	}
+	if intHeavy < 4 {
+		t.Errorf("only %d pure-integer profiles, want >=4", intHeavy)
+	}
+}

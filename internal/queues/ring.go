@@ -1,0 +1,125 @@
+// Package queues provides the bounded FIFO ring buffer underlying the
+// paper's hardware queues: the Branch Outcome Queue (BOQ), Load Value Queue
+// (LVQ), Dependence Trace Queue (DTQ), store buffer and trailing fetch queue.
+// Each of those queues is a Ring of its own entry type, owned by the package
+// that implements the corresponding mechanism.
+package queues
+
+import "fmt"
+
+// Ring is a bounded FIFO queue. The zero value is unusable; construct with
+// NewRing. Ring is not safe for concurrent use: the simulator is
+// single-threaded by design (cycle-level determinism).
+type Ring[T any] struct {
+	buf  []T
+	head int // index of the oldest element
+	n    int // number of elements
+}
+
+// NewRing returns a ring with the given capacity. It panics on a
+// non-positive capacity (capacities are configuration constants).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("queues: invalid ring capacity %d", capacity))
+	}
+	return &Ring[T]{buf: make([]T, capacity)}
+}
+
+// Cap returns the ring's capacity.
+func (r *Ring[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued elements.
+func (r *Ring[T]) Len() int { return r.n }
+
+// Empty reports whether the ring holds no elements.
+func (r *Ring[T]) Empty() bool { return r.n == 0 }
+
+// Full reports whether the ring is at capacity.
+func (r *Ring[T]) Full() bool { return r.n == len(r.buf) }
+
+// Free returns the number of unused slots.
+func (r *Ring[T]) Free() int { return len(r.buf) - r.n }
+
+// Push appends v; it reports false (and queues nothing) when full.
+func (r *Ring[T]) Push(v T) bool {
+	if r.Full() {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	return true
+}
+
+// Pop removes and returns the oldest element; ok is false when empty.
+func (r *Ring[T]) Pop() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	v = r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// Peek returns the oldest element without removing it; ok is false when
+// empty.
+func (r *Ring[T]) Peek() (v T, ok bool) {
+	if r.n == 0 {
+		return v, false
+	}
+	return r.buf[r.head], true
+}
+
+// At returns the i-th oldest element (0 = head). It panics when i is out of
+// range, mirroring slice indexing.
+func (r *Ring[T]) At(i int) T {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("queues: index %d out of range [0,%d)", i, r.n))
+	}
+	return r.buf[(r.head+i)%len(r.buf)]
+}
+
+// SetAt replaces the i-th oldest element (0 = head). It panics when i is out
+// of range.
+func (r *Ring[T]) SetAt(i int, v T) {
+	if i < 0 || i >= r.n {
+		panic(fmt.Sprintf("queues: index %d out of range [0,%d)", i, r.n))
+	}
+	r.buf[(r.head+i)%len(r.buf)] = v
+}
+
+// Reset empties the ring.
+func (r *Ring[T]) Reset() {
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.n = 0, 0
+}
+
+// RemoveIf deletes every element for which keep returns false, preserving
+// FIFO order of the survivors, and returns the number removed. It is used to
+// drop squashed wrong-path entries from queues allocated in issue order (the
+// DTQ case in Section 4.2.1 of the paper).
+func (r *Ring[T]) RemoveIf(keep func(T) bool) int {
+	removed := 0
+	w := 0
+	for i := 0; i < r.n; i++ {
+		v := r.buf[(r.head+i)%len(r.buf)]
+		if keep(v) {
+			r.buf[(r.head+w)%len(r.buf)] = v
+			w++
+		} else {
+			removed++
+		}
+	}
+	// Zero the vacated tail slots.
+	var zero T
+	for i := w; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.n = w
+	return removed
+}

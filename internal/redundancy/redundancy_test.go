@@ -1,0 +1,323 @@
+package redundancy
+
+import (
+	"testing"
+
+	"blackjack/internal/detect"
+	"blackjack/internal/isa"
+)
+
+func TestBOQValidateAgreement(t *testing.T) {
+	q := NewBOQ(4)
+	var sink detect.Sink
+	q.Push(BranchOutcome{Seq: 0, PC: 10, Taken: true, Target: 3})
+	if !q.Validate(&sink, 1, 0, 10, true, 3) {
+		t.Error("matching outcome rejected")
+	}
+	if !sink.Empty() {
+		t.Errorf("unexpected events: %v", sink.Events())
+	}
+}
+
+func TestBOQValidateMismatches(t *testing.T) {
+	tests := []struct {
+		name   string
+		push   *BranchOutcome
+		seq    uint64
+		pc     int
+		taken  bool
+		target int
+	}{
+		{"empty queue", nil, 0, 10, true, 3},
+		{"seq mismatch", &BranchOutcome{Seq: 5, PC: 10, Taken: true, Target: 3}, 6, 10, true, 3},
+		{"pc mismatch", &BranchOutcome{Seq: 0, PC: 10, Taken: true, Target: 3}, 0, 11, true, 3},
+		{"direction mismatch", &BranchOutcome{Seq: 0, PC: 10, Taken: true, Target: 3}, 0, 10, false, 3},
+		{"target mismatch", &BranchOutcome{Seq: 0, PC: 10, Taken: true, Target: 3}, 0, 10, true, 4},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			q := NewBOQ(4)
+			var sink detect.Sink
+			if tt.push != nil {
+				q.Push(*tt.push)
+			}
+			if q.Validate(&sink, 1, tt.seq, tt.pc, tt.taken, tt.target) {
+				t.Error("mismatch accepted")
+			}
+			if sink.Empty() {
+				t.Error("no event reported")
+			}
+		})
+	}
+}
+
+func TestBOQNotTakenTargetIgnored(t *testing.T) {
+	q := NewBOQ(4)
+	var sink detect.Sink
+	q.Push(BranchOutcome{Seq: 0, PC: 10, Taken: false, Target: 3})
+	// Target of a not-taken branch is don't-care.
+	if !q.Validate(&sink, 1, 0, 10, false, 99) {
+		t.Error("not-taken branch with differing target field rejected")
+	}
+}
+
+func TestLVQLookupAndRetire(t *testing.T) {
+	q := NewLVQ(4)
+	for i := uint64(0); i < 3; i++ {
+		if !q.Push(LoadValue{Seq: i, Addr: 8 * i, Value: 100 + i}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	// Out-of-order lookup (BlackJack's issue-order trailing execution).
+	v, ok := q.Lookup(2)
+	if !ok || v.Value != 102 {
+		t.Errorf("Lookup(2) = (%+v,%v)", v, ok)
+	}
+	v, ok = q.Lookup(0)
+	if !ok || v.Value != 100 {
+		t.Errorf("Lookup(0) = (%+v,%v)", v, ok)
+	}
+	if _, ok := q.Lookup(3); ok {
+		t.Error("Lookup(3) should miss")
+	}
+	// In-order retirement.
+	if !q.Retire(0) {
+		t.Error("Retire(0) failed")
+	}
+	if q.Retire(2) {
+		t.Error("Retire(2) out of order should fail")
+	}
+	if !q.Retire(1) {
+		t.Error("Retire(1) failed")
+	}
+	if _, ok := q.Lookup(0); ok {
+		t.Error("retired entry still visible")
+	}
+	if v, ok := q.Lookup(2); !ok || v.Value != 102 {
+		t.Error("remaining entry lost")
+	}
+}
+
+func TestLVQValidateAddr(t *testing.T) {
+	q := NewLVQ(4)
+	var sink detect.Sink
+	q.Push(LoadValue{Seq: 0, PC: 7, Addr: 64, Value: 42})
+	v, ok := q.ValidateAddr(&sink, 1, 0, 7, 64)
+	if !ok || v != 42 {
+		t.Errorf("ValidateAddr match = (%d,%v), want (42,true)", v, ok)
+	}
+	if _, ok := q.ValidateAddr(&sink, 2, 0, 7, 72); ok {
+		t.Error("address mismatch accepted")
+	}
+	if _, ok := q.ValidateAddr(&sink, 3, 9, 7, 64); ok {
+		t.Error("missing entry accepted")
+	}
+	if sink.Total() != 2 {
+		t.Errorf("events = %d, want 2", sink.Total())
+	}
+}
+
+func TestLVQRefillAfterEmpty(t *testing.T) {
+	q := NewLVQ(2)
+	q.Push(LoadValue{Seq: 0})
+	q.Retire(0)
+	if !q.Push(LoadValue{Seq: 1, Value: 5}) {
+		t.Fatal("push after drain failed")
+	}
+	if v, ok := q.Lookup(1); !ok || v.Value != 5 {
+		t.Errorf("Lookup(1) = (%+v,%v)", v, ok)
+	}
+}
+
+func TestStoreBufferCheckRelease(t *testing.T) {
+	b := NewStoreBuffer(4)
+	var sink detect.Sink
+	b.Push(PendingStore{Seq: 0, PC: 3, Addr: 16, Value: 9})
+	rel, ok := b.CheckRelease(&sink, 1, 0, 3, 16, 9)
+	if !ok || rel.Addr != 16 || rel.Value != 9 {
+		t.Errorf("CheckRelease = (%+v,%v)", rel, ok)
+	}
+	if !sink.Empty() {
+		t.Errorf("unexpected events: %v", sink.Events())
+	}
+}
+
+func TestStoreBufferMismatches(t *testing.T) {
+	tests := []struct {
+		name    string
+		lead    *PendingStore
+		seq     uint64
+		addr    uint64
+		value   uint64
+		checker detect.Checker
+	}{
+		{"empty buffer", nil, 0, 16, 9, detect.CheckStorePairing},
+		{"seq mismatch", &PendingStore{Seq: 4, Addr: 16, Value: 9}, 5, 16, 9, detect.CheckStorePairing},
+		{"addr mismatch", &PendingStore{Seq: 0, Addr: 16, Value: 9}, 0, 24, 9, detect.CheckStoreAddr},
+		{"value mismatch", &PendingStore{Seq: 0, Addr: 16, Value: 9}, 0, 16, 8, detect.CheckStoreValue},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			b := NewStoreBuffer(4)
+			var sink detect.Sink
+			if tt.lead != nil {
+				b.Push(*tt.lead)
+			}
+			if _, ok := b.CheckRelease(&sink, 1, tt.seq, 0, tt.addr, tt.value); ok {
+				t.Error("mismatch accepted")
+			}
+			e, _ := sink.First()
+			if e.Checker != tt.checker {
+				t.Errorf("checker = %v, want %v", e.Checker, tt.checker)
+			}
+		})
+	}
+}
+
+func TestStreamFetchGroupAlignment(t *testing.T) {
+	s := NewStream(16)
+	// PCs 2,3 are in block 0 (width 4); 4,5,6,7 in block 1.
+	for i, pc := range []int{2, 3, 4, 5, 6, 7} {
+		s.Push(StreamEntry{Seq: uint64(i), PC: pc})
+	}
+	g := s.FetchGroup(4)
+	if len(g) != 2 || g[0].PC != 2 || g[1].PC != 3 {
+		t.Fatalf("first group = %v, want PCs [2 3]", g)
+	}
+	g = s.FetchGroup(4)
+	if len(g) != 4 || g[0].PC != 4 || g[3].PC != 7 {
+		t.Fatalf("second group = %v, want PCs [4..7]", g)
+	}
+	if g = s.FetchGroup(4); g != nil {
+		t.Errorf("empty stream returned group %v", g)
+	}
+}
+
+func TestStreamFetchGroupBreaksOnTakenBranch(t *testing.T) {
+	s := NewStream(16)
+	// 4,5 then a jump to 12: PCs 4,5,12 — 12 is in another block AND not
+	// sequential, so the group must end after 5.
+	s.Push(StreamEntry{Seq: 0, PC: 4})
+	s.Push(StreamEntry{Seq: 1, PC: 5})
+	s.Push(StreamEntry{Seq: 2, PC: 12})
+	g := s.FetchGroup(4)
+	if len(g) != 2 {
+		t.Fatalf("group = %v, want 2 entries", g)
+	}
+	g = s.FetchGroup(4)
+	if len(g) != 1 || g[0].PC != 12 {
+		t.Fatalf("group = %v, want [12]", g)
+	}
+}
+
+func TestStreamFetchGroupBreaksOnNonSequentialSameBlock(t *testing.T) {
+	s := NewStream(16)
+	// A tight backward loop within one block: 5,6,5 — the second 5 must not
+	// join the first group.
+	s.Push(StreamEntry{Seq: 0, PC: 5})
+	s.Push(StreamEntry{Seq: 1, PC: 6})
+	s.Push(StreamEntry{Seq: 2, PC: 5})
+	g := s.FetchGroup(4)
+	if len(g) != 2 {
+		t.Fatalf("group = %v, want [5 6]", g)
+	}
+}
+
+func TestStreamCapacity(t *testing.T) {
+	s := NewStream(2)
+	if !s.Push(StreamEntry{}) || !s.Push(StreamEntry{Seq: 1}) {
+		t.Fatal("pushes failed")
+	}
+	if s.Push(StreamEntry{Seq: 2}) {
+		t.Error("push into full stream succeeded")
+	}
+	if !s.Full() {
+		t.Error("Full() = false")
+	}
+}
+
+func TestStreamEntryCarriesWays(t *testing.T) {
+	s := NewStream(4)
+	e := StreamEntry{
+		Seq: 0, PC: 8, Inst: isa.Inst{Op: isa.OpAdd, Rd: 1, Rs1: 2, Rs2: 3},
+		FrontWay: 0, BackWay: 2, Class: isa.UnitIntALU,
+	}
+	s.Push(e)
+	got := s.PeekAt(0)
+	if got != e {
+		t.Errorf("PeekAt = %+v, want %+v", got, e)
+	}
+}
+
+func TestBOQLenAndFull(t *testing.T) {
+	q := NewBOQ(2)
+	if q.Full() || q.Len() != 0 {
+		t.Error("fresh BOQ state wrong")
+	}
+	q.Push(BranchOutcome{Seq: 0})
+	q.Push(BranchOutcome{Seq: 1})
+	if !q.Full() || q.Len() != 2 {
+		t.Error("full BOQ state wrong")
+	}
+	if q.Push(BranchOutcome{Seq: 2}) {
+		t.Error("push into full BOQ succeeded")
+	}
+}
+
+func TestLVQFreeAndFull(t *testing.T) {
+	q := NewLVQ(2)
+	if q.Free() != 2 || q.Full() {
+		t.Error("fresh LVQ state wrong")
+	}
+	q.Push(LoadValue{Seq: 0})
+	q.Push(LoadValue{Seq: 1})
+	if q.Free() != 0 || !q.Full() {
+		t.Error("full LVQ state wrong")
+	}
+	if q.Push(LoadValue{Seq: 2}) {
+		t.Error("push into full LVQ succeeded")
+	}
+}
+
+func TestStoreBufferFreeLen(t *testing.T) {
+	b := NewStoreBuffer(3)
+	b.Push(PendingStore{Seq: 0})
+	if b.Free() != 2 || b.Len() != 1 {
+		t.Errorf("free/len = %d/%d", b.Free(), b.Len())
+	}
+}
+
+func TestStoreBufferMatchYoungestPicksNewest(t *testing.T) {
+	b := NewStoreBuffer(4)
+	b.Push(PendingStore{Seq: 0, Addr: 8, Value: 1})
+	b.Push(PendingStore{Seq: 1, Addr: 16, Value: 2})
+	b.Push(PendingStore{Seq: 2, Addr: 8, Value: 3})
+	if v, ok := b.MatchYoungest(8); !ok || v != 3 {
+		t.Errorf("MatchYoungest(8) = (%d,%v), want (3,true)", v, ok)
+	}
+	if _, ok := b.MatchYoungest(99); ok {
+		t.Error("matched absent address")
+	}
+}
+
+func TestStreamPop(t *testing.T) {
+	s := NewStream(4)
+	s.Push(StreamEntry{Seq: 0, PC: 1})
+	e, ok := s.Pop()
+	if !ok || e.PC != 1 {
+		t.Errorf("Pop = (%+v,%v)", e, ok)
+	}
+	if _, ok := s.Pop(); ok {
+		t.Error("Pop from empty stream succeeded")
+	}
+}
+
+func TestStreamFetchGroupWidthLimit(t *testing.T) {
+	s := NewStream(16)
+	for pc := 0; pc < 8; pc++ {
+		s.Push(StreamEntry{Seq: uint64(pc), PC: pc})
+	}
+	if g := s.FetchGroup(2); len(g) != 2 {
+		t.Errorf("width-2 group = %d entries", len(g))
+	}
+}

@@ -1,0 +1,159 @@
+// Package rename provides register-renaming building blocks: the physical
+// register file (values plus ready-cycle timestamps), the free list, and
+// mapping tables. The pipeline composes these per SMT context; the BlackJack
+// core additionally uses a Map indexed by *leading physical register* for the
+// trailing thread's double rename (Section 4.3.1 of the paper) and a second
+// program-order Map for the commit-time dependence check (Section 4.4).
+package rename
+
+import (
+	"fmt"
+	"math"
+
+	"blackjack/internal/queues"
+)
+
+// PhysReg names a physical register.
+type PhysReg uint16
+
+// None is the absent physical register (unmapped / no destination).
+const None PhysReg = math.MaxUint16
+
+// FarFuture is a ready-cycle meaning "value not yet available".
+const FarFuture int64 = math.MaxInt64
+
+// RegFile is a physical register file with per-register value and
+// availability cycle. Construct with NewRegFile.
+type RegFile struct {
+	vals    []uint64
+	readyAt []int64
+}
+
+// NewRegFile builds a file of n physical registers, all holding zero and
+// immediately ready (cycle 0).
+func NewRegFile(n int) *RegFile {
+	if n <= 0 {
+		panic(fmt.Sprintf("rename: invalid register file size %d", n))
+	}
+	return &RegFile{vals: make([]uint64, n), readyAt: make([]int64, n)}
+}
+
+// Size returns the number of physical registers.
+func (f *RegFile) Size() int { return len(f.vals) }
+
+// Value returns the value of p.
+func (f *RegFile) Value(p PhysReg) uint64 { return f.vals[p] }
+
+// SetValue writes p's value.
+func (f *RegFile) SetValue(p PhysReg, v uint64) { f.vals[p] = v }
+
+// ReadyAt returns the cycle at which p's value is (or becomes) available.
+func (f *RegFile) ReadyAt(p PhysReg) int64 { return f.readyAt[p] }
+
+// SetReadyAt sets the availability cycle for p.
+func (f *RegFile) SetReadyAt(p PhysReg, cycle int64) { f.readyAt[p] = cycle }
+
+// MarkPending marks p as awaiting a producer.
+func (f *RegFile) MarkPending(p PhysReg) { f.readyAt[p] = FarFuture }
+
+// Ready reports whether p's value is available at the given cycle.
+func (f *RegFile) Ready(p PhysReg, cycle int64) bool { return f.readyAt[p] <= cycle }
+
+// FreeList hands out physical registers.
+type FreeList struct {
+	ring *queues.Ring[PhysReg]
+	// free tracks membership when checking is enabled, turning double frees
+	// into immediate panics instead of downstream corruption.
+	free map[PhysReg]bool
+}
+
+// NewFreeList builds a free list containing regs [first, first+count).
+func NewFreeList(first PhysReg, count int) *FreeList {
+	fl := &FreeList{ring: queues.NewRing[PhysReg](count)}
+	for i := 0; i < count; i++ {
+		fl.ring.Push(first + PhysReg(i))
+	}
+	return fl
+}
+
+// EnableChecking turns on double-free detection (used by tests and
+// diagnostics; costs one map operation per Alloc/Free).
+func (fl *FreeList) EnableChecking() {
+	fl.free = make(map[PhysReg]bool, fl.ring.Len())
+	for i := 0; i < fl.ring.Len(); i++ {
+		fl.free[fl.ring.At(i)] = true
+	}
+}
+
+// Len returns the number of free registers.
+func (fl *FreeList) Len() int { return fl.ring.Len() }
+
+// Alloc removes and returns a free register; ok is false when exhausted.
+func (fl *FreeList) Alloc() (PhysReg, bool) {
+	p, ok := fl.ring.Pop()
+	if ok && fl.free != nil {
+		delete(fl.free, p)
+	}
+	return p, ok
+}
+
+// Free returns p to the list. It panics if the list would overflow, which
+// indicates a double-free bug in the caller (and, with checking enabled, on
+// any double free).
+func (fl *FreeList) Free(p PhysReg) {
+	if fl.free != nil {
+		if fl.free[p] {
+			panic(fmt.Sprintf("rename: double free of physical register %d", p))
+		}
+		fl.free[p] = true
+	}
+	if !fl.ring.Push(p) {
+		panic("rename: free list overflow (double free)")
+	}
+}
+
+// Snapshot returns the registers currently on the free list, oldest first.
+// Intended for diagnostics and invariant-checking tests.
+func (fl *FreeList) Snapshot() []PhysReg {
+	out := make([]PhysReg, 0, fl.ring.Len())
+	for i := 0; i < fl.ring.Len(); i++ {
+		out = append(out, fl.ring.At(i))
+	}
+	return out
+}
+
+// Map is a mapping table from an index space (architectural registers, or
+// leading physical registers for BlackJack's double rename) to physical
+// registers.
+type Map struct {
+	entries []PhysReg
+}
+
+// NewMap builds a table of n entries, all None.
+func NewMap(n int) *Map {
+	m := &Map{entries: make([]PhysReg, n)}
+	for i := range m.entries {
+		m.entries[i] = None
+	}
+	return m
+}
+
+// Size returns the number of entries.
+func (m *Map) Size() int { return len(m.entries) }
+
+// Get returns the mapping for index i.
+func (m *Map) Get(i int) PhysReg { return m.entries[i] }
+
+// Set updates the mapping for index i and returns the previous mapping.
+func (m *Map) Set(i int, p PhysReg) (old PhysReg) {
+	old = m.entries[i]
+	m.entries[i] = p
+	return old
+}
+
+// Reset sets every entry to None.
+func (m *Map) Reset() {
+	for i := range m.entries {
+		m.entries[i] = None
+	}
+}

@@ -1,0 +1,146 @@
+package rename
+
+import "testing"
+
+func TestRegFileValuesAndReadiness(t *testing.T) {
+	f := NewRegFile(8)
+	if f.Size() != 8 {
+		t.Fatalf("size = %d, want 8", f.Size())
+	}
+	p := PhysReg(3)
+	if !f.Ready(p, 0) {
+		t.Error("fresh register should be ready at cycle 0")
+	}
+	f.MarkPending(p)
+	if f.Ready(p, 1<<40) {
+		t.Error("pending register should not be ready")
+	}
+	f.SetValue(p, 99)
+	f.SetReadyAt(p, 10)
+	if f.Ready(p, 9) {
+		t.Error("register ready before its ready cycle")
+	}
+	if !f.Ready(p, 10) {
+		t.Error("register not ready at its ready cycle")
+	}
+	if f.Value(p) != 99 {
+		t.Errorf("value = %d, want 99", f.Value(p))
+	}
+}
+
+func TestFreeListAllocFree(t *testing.T) {
+	fl := NewFreeList(10, 3)
+	if fl.Len() != 3 {
+		t.Fatalf("len = %d, want 3", fl.Len())
+	}
+	var got []PhysReg
+	for {
+		p, ok := fl.Alloc()
+		if !ok {
+			break
+		}
+		got = append(got, p)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 11 || got[2] != 12 {
+		t.Errorf("allocated %v, want [10 11 12]", got)
+	}
+	fl.Free(11)
+	p, ok := fl.Alloc()
+	if !ok || p != 11 {
+		t.Errorf("realloc = (%d,%v), want (11,true)", p, ok)
+	}
+}
+
+func TestFreeListDoubleFreePanics(t *testing.T) {
+	fl := NewFreeList(0, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("overflow Free did not panic")
+		}
+	}()
+	fl.Free(5) // list already full
+}
+
+func TestMapSetGetReset(t *testing.T) {
+	m := NewMap(4)
+	for i := 0; i < 4; i++ {
+		if m.Get(i) != None {
+			t.Errorf("fresh map entry %d = %d, want None", i, m.Get(i))
+		}
+	}
+	if old := m.Set(2, 7); old != None {
+		t.Errorf("first Set returned %d, want None", old)
+	}
+	if old := m.Set(2, 9); old != 7 {
+		t.Errorf("second Set returned %d, want 7", old)
+	}
+	if m.Get(2) != 9 {
+		t.Errorf("Get(2) = %d, want 9", m.Get(2))
+	}
+	m.Reset()
+	if m.Get(2) != None {
+		t.Error("Reset did not clear entries")
+	}
+}
+
+func TestRegFilePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRegFile(0) did not panic")
+		}
+	}()
+	NewRegFile(0)
+}
+
+func TestFreeListSnapshot(t *testing.T) {
+	fl := NewFreeList(5, 3)
+	snap := fl.Snapshot()
+	if len(snap) != 3 || snap[0] != 5 || snap[2] != 7 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	fl.Alloc()
+	if got := fl.Snapshot(); len(got) != 2 || got[0] != 6 {
+		t.Errorf("snapshot after alloc = %v", got)
+	}
+}
+
+func TestFreeListCheckingCatchesDoubleFree(t *testing.T) {
+	fl := NewFreeList(0, 4)
+	fl.EnableChecking()
+	p, _ := fl.Alloc()
+	q, _ := fl.Alloc()
+	fl.Free(p)
+	fl.Free(q) // fine
+	p2, _ := fl.Alloc()
+	_ = p2
+	defer func() {
+		if recover() == nil {
+			t.Error("double free not caught with checking enabled")
+		}
+	}()
+	fl.Free(q) // q is already free: double free
+}
+
+func TestFreeListCheckingAllowsNormalCycles(t *testing.T) {
+	fl := NewFreeList(0, 2)
+	fl.EnableChecking()
+	for i := 0; i < 10; i++ {
+		p, ok := fl.Alloc()
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		fl.Free(p)
+	}
+}
+
+func TestRegFileSize(t *testing.T) {
+	if got := NewRegFile(7).Size(); got != 7 {
+		t.Errorf("Size = %d", got)
+	}
+}
+
+func TestMapSize(t *testing.T) {
+	if got := NewMap(9).Size(); got != 9 {
+		t.Errorf("Size = %d", got)
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"fmt"
+
+	"blackjack/internal/detect"
+	"blackjack/internal/fault"
+	"blackjack/internal/isa"
+	"blackjack/internal/pipeline"
+	"blackjack/internal/prog"
+	"blackjack/internal/rename"
+)
+
+// Outcome classifies one fault-injection run.
+type Outcome uint8
+
+// Injection outcomes.
+const (
+	// OutcomeBenign: the fault never changed the program's observable
+	// output (never activated, masked, or confined to wrong-path work).
+	OutcomeBenign Outcome = iota
+	// OutcomeDetected: a redundancy checker flagged the fault.
+	OutcomeDetected
+	// OutcomeSilent: the output stream differs from the golden model with
+	// no detection — silent data corruption, the failure mode BlackJack
+	// exists to prevent.
+	OutcomeSilent
+	// OutcomeWedged: the machine stopped making progress (or tripped an
+	// internal invariant); observable as a hang, distinct from silent
+	// corruption.
+	OutcomeWedged
+)
+
+var outcomeNames = map[Outcome]string{
+	OutcomeBenign: "benign", OutcomeDetected: "detected",
+	OutcomeSilent: "silent-corruption", OutcomeWedged: "wedged",
+}
+
+// String names the outcome.
+func (o Outcome) String() string {
+	if s, ok := outcomeNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// InjectionResult is one fault-injection run's classification.
+type InjectionResult struct {
+	Site        fault.Site
+	Mode        pipeline.Mode
+	Outcome     Outcome
+	Activations uint64
+	Detections  uint64
+	FirstEvent  *detect.Event
+	Cycles      int64
+	// DetectionLatency is the cycle distance from the fault's first
+	// activation to the first detection event (-1 when not applicable).
+	DetectionLatency int64
+}
+
+// InjectOptions tune a fault run.
+type InjectOptions struct {
+	// SplitPayload models per-thread payload RAMs (Section 4.5).
+	SplitPayload bool
+}
+
+// InjectProgram runs p in the given mode with one hard fault installed and
+// classifies the outcome against the golden model. Machine panics caused by
+// fault-wedged bookkeeping are caught and classified as OutcomeWedged.
+func InjectProgram(cfg Config, p *isa.Program, site fault.Site, opts InjectOptions) (InjectionResult, error) {
+	return InjectProgramMulti(cfg, p, []fault.Site{site}, opts)
+}
+
+// InjectProgramMulti installs several simultaneous (uncorrelated) hard
+// faults — the multi-error scenario of Section 4.5 — and classifies the
+// combined outcome. The reported Site is the first one.
+func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions) (res InjectionResult, err error) {
+	if err := cfg.Validate(); err != nil {
+		return InjectionResult{}, err
+	}
+	if len(sites) == 0 {
+		return InjectionResult{}, fmt.Errorf("sim: no fault sites")
+	}
+	inj := &fault.Injector{Sites: sites, SplitPayload: opts.SplitPayload}
+	site := sites[0]
+	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, pipeline.WithInjector(inj))
+	if err != nil {
+		return InjectionResult{}, err
+	}
+	inj.Now = m.Cycle
+	res = InjectionResult{Site: site, Mode: cfg.Mode, DetectionLatency: -1}
+
+	defer func() {
+		if r := recover(); r != nil {
+			// A fault can wedge bookkeeping the hardware would also wedge
+			// (e.g. a corrupted instruction class desynchronizing queue
+			// pairing). That is an observable hang, not silent corruption.
+			res.Outcome = OutcomeWedged
+			res.Activations = inj.Activations()
+			err = nil
+		}
+	}()
+
+	st := m.Run(cfg.MaxInstructions)
+	res.Activations = inj.Activations()
+	res.Detections = st.Detections
+	res.FirstEvent = st.FirstEvent
+	res.Cycles = st.Cycles
+	if first, ok := inj.FirstActivation(); ok && st.FirstEvent != nil {
+		res.DetectionLatency = st.FirstEvent.Cycle - first
+	}
+
+	switch {
+	case st.Detections > 0:
+		res.Outcome = OutcomeDetected
+	case st.Deadlocked:
+		res.Outcome = OutcomeWedged
+	default:
+		g, gerr := isa.NewMachine(p)
+		if gerr != nil {
+			return InjectionResult{}, gerr
+		}
+		g.Run(int(st.Committed[0]))
+		if st.StoreSignature == g.StoreSignature() && st.ReleasedStores == uint64(g.Stores()) {
+			res.Outcome = OutcomeBenign
+		} else {
+			res.Outcome = OutcomeSilent
+		}
+	}
+	return res, nil
+}
+
+// Inject runs a built-in benchmark with one fault.
+func Inject(cfg Config, benchmark string, site fault.Site, opts InjectOptions) (InjectionResult, error) {
+	p, err := prog.Benchmark(benchmark)
+	if err != nil {
+		return InjectionResult{}, err
+	}
+	return InjectProgram(cfg, p, site, opts)
+}
+
+// StandardSites returns a canonical fault campaign for the given machine:
+// one decode fault per frontend way, one value fault per backend way of
+// every class, branch-direction and address faults on representative ways,
+// a handful of payload-RAM slots, and a few physical registers.
+func StandardSites(cfg pipeline.Config) []fault.Site {
+	var sites []fault.Site
+	for w := 0; w < cfg.FetchWidth; w++ {
+		sites = append(sites, fault.Site{Class: fault.FrontendWay, Way: w, Field: fault.FieldRs2})
+	}
+	for cls := isa.UnitClass(0); cls < isa.NumUnitClasses; cls++ {
+		for w := 0; w < cfg.Units[cls]; w++ {
+			sites = append(sites, fault.Site{
+				Class: fault.BackendWay, Unit: cls, Way: w, BitMask: 1 << uint(8+w),
+			})
+		}
+	}
+	sites = append(sites,
+		fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, FlipBranch: true},
+		fault.Site{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, CorruptAddr: true, BitMask: 1},
+	)
+	for _, slot := range []int{0, 1, cfg.IssueQueue / 2} {
+		sites = append(sites, fault.Site{
+			Class: fault.PayloadRAM, Slot: slot, Field: fault.FieldImm, BitMask: 2,
+		})
+	}
+	for _, reg := range []rename.PhysReg{200, 300, 400} {
+		if int(reg) < cfg.PhysRegs {
+			sites = append(sites, fault.Site{Class: fault.RegisterFile, Reg: reg, BitMask: 1 << 5})
+		}
+	}
+	return sites
+}
+
+// TransientSites derives a soft-error campaign from the standard sites:
+// each fault corrupts exactly one use (the FireAt-th) and vanishes. Temporal
+// redundancy alone suffices for these, so SRT and BlackJack should both
+// detect every activated one — the property BlackJack inherits from SRT
+// (Section 1).
+func TransientSites(cfg pipeline.Config, fireAt uint64) []fault.Site {
+	sites := StandardSites(cfg)
+	out := make([]fault.Site, 0, len(sites))
+	for _, s := range sites {
+		s.Transient = true
+		s.FireAt = fireAt
+		out = append(out, s)
+	}
+	return out
+}
+
+// CampaignSummary aggregates injection outcomes.
+type CampaignSummary struct {
+	Results []InjectionResult
+	Counts  map[Outcome]int
+	// ActiveRuns counts runs whose fault actually corrupted at least one
+	// value; DetectedOfActive is the empirical detection coverage over those.
+	ActiveRuns       int
+	DetectedOfActive int
+}
+
+// DetectionRate returns detected / (detected + silent) over activated runs —
+// the empirical analogue of the paper's coverage metric.
+func (s *CampaignSummary) DetectionRate() float64 {
+	det := 0
+	bad := 0
+	for _, r := range s.Results {
+		if r.Activations == 0 {
+			continue
+		}
+		switch r.Outcome {
+		case OutcomeDetected:
+			det++
+		case OutcomeSilent:
+			bad++
+		}
+	}
+	if det+bad == 0 {
+		return 0
+	}
+	return float64(det) / float64(det+bad)
+}
+
+// Campaign injects every site into the same benchmark and summarizes.
+func Campaign(cfg Config, benchmark string, sites []fault.Site, opts InjectOptions) (*CampaignSummary, error) {
+	p, err := prog.Benchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	sum := &CampaignSummary{Counts: make(map[Outcome]int)}
+	for _, site := range sites {
+		r, err := InjectProgram(cfg, p, site, opts)
+		if err != nil {
+			return nil, err
+		}
+		sum.Results = append(sum.Results, r)
+		sum.Counts[r.Outcome]++
+		if r.Activations > 0 {
+			sum.ActiveRuns++
+			if r.Outcome == OutcomeDetected {
+				sum.DetectedOfActive++
+			}
+		}
+	}
+	return sum, nil
+}

@@ -1,0 +1,131 @@
+// Package sim wires the substrates into runnable experiments: it builds a
+// machine for one of the four configurations (single, SRT, BlackJack-NS,
+// BlackJack), runs a workload for a committed-instruction budget, validates
+// the released store stream against the functional golden model, and runs
+// hard-fault injection campaigns with outcome classification.
+package sim
+
+import (
+	"fmt"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/pipeline"
+	"blackjack/internal/prog"
+)
+
+// Config describes one simulation.
+type Config struct {
+	// Machine is the core configuration (Table 1 defaults via Default()).
+	Machine pipeline.Config
+	// Mode selects the redundancy configuration.
+	Mode pipeline.Mode
+	// MaxInstructions is the leading-thread committed-instruction budget.
+	MaxInstructions int
+}
+
+// Default returns a Table 1 machine in the given mode with the given budget.
+func Default(mode pipeline.Mode, maxInstructions int) Config {
+	return Config{
+		Machine:         pipeline.DefaultConfig(),
+		Mode:            mode,
+		MaxInstructions: maxInstructions,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.MaxInstructions <= 0 {
+		return fmt.Errorf("sim: non-positive instruction budget %d", c.MaxInstructions)
+	}
+	return c.Machine.Validate()
+}
+
+// Result is one simulation's outcome.
+type Result struct {
+	Benchmark string
+	Mode      pipeline.Mode
+	Stats     *pipeline.Stats
+
+	// GoldenSignature is the golden model's store-stream signature over the
+	// same committed instructions; OutputMatches reports agreement with the
+	// machine's released stores.
+	GoldenSignature uint64
+	GoldenStores    uint64
+	OutputMatches   bool
+}
+
+// Slowdown returns cycles relative to a baseline result (>1 means slower).
+func (r *Result) Slowdown(baseline *Result) float64 {
+	if baseline.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Stats.Cycles) / float64(baseline.Stats.Cycles)
+}
+
+// NormalizedPerf returns the paper's Figure 7 metric: performance relative to
+// the baseline as a fraction (baseline cycles / this run's cycles).
+func (r *Result) NormalizedPerf(baseline *Result) float64 {
+	if r.Stats.Cycles == 0 {
+		return 0
+	}
+	return float64(baseline.Stats.Cycles) / float64(r.Stats.Cycles)
+}
+
+// RunProgram executes one program on one machine configuration and verifies
+// the output stream against the golden model.
+func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	m, err := pipeline.New(cfg.Machine, cfg.Mode, p)
+	if err != nil {
+		return nil, err
+	}
+	st := m.Run(cfg.MaxInstructions)
+	if st.Deadlocked {
+		return nil, fmt.Errorf("sim: %s/%v wedged at cycle %d (committed %d/%d)",
+			p.Name, cfg.Mode, st.Cycles, st.Committed[0], cfg.MaxInstructions)
+	}
+	g, err := isa.NewMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	g.Run(int(st.Committed[0]))
+	return &Result{
+		Benchmark:       p.Name,
+		Mode:            cfg.Mode,
+		Stats:           st,
+		GoldenSignature: g.StoreSignature(),
+		GoldenStores:    uint64(g.Stores()),
+		OutputMatches:   st.StoreSignature == g.StoreSignature() && st.ReleasedStores == uint64(g.Stores()),
+	}, nil
+}
+
+// Run executes one built-in benchmark.
+func Run(cfg Config, benchmark string) (*Result, error) {
+	p, err := prog.Benchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return RunProgram(cfg, p)
+}
+
+// RunAllModes runs a benchmark under single, SRT, BlackJack-NS and BlackJack
+// with the same budget, returning results keyed by mode.
+func RunAllModes(machine pipeline.Config, benchmark string, maxInstructions int) (map[pipeline.Mode]*Result, error) {
+	p, err := prog.Benchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[pipeline.Mode]*Result, 4)
+	for _, mode := range []pipeline.Mode{
+		pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJackNS, pipeline.ModeBlackJack,
+	} {
+		r, err := RunProgram(Config{Machine: machine, Mode: mode, MaxInstructions: maxInstructions}, p)
+		if err != nil {
+			return nil, err
+		}
+		out[mode] = r
+	}
+	return out, nil
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"testing"
+
+	"blackjack/internal/pipeline"
+)
+
+func TestRunSingleMatchesGolden(t *testing.T) {
+	r, err := Run(Default(pipeline.ModeSingle, 5000), "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputMatches {
+		t.Error("single-mode output does not match golden model")
+	}
+	if r.Stats.IPC() <= 0 {
+		t.Error("no progress")
+	}
+}
+
+func TestRunAllModes(t *testing.T) {
+	rs, err := RunAllModes(pipeline.DefaultConfig(), "gzip", 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 4 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	for mode, r := range rs {
+		if !r.OutputMatches {
+			t.Errorf("%v: output mismatch", mode)
+		}
+		if r.Stats.Detections != 0 {
+			t.Errorf("%v: %d detections in fault-free run", mode, r.Stats.Detections)
+		}
+	}
+	single := rs[pipeline.ModeSingle]
+	for _, mode := range []pipeline.Mode{pipeline.ModeSRT, pipeline.ModeBlackJackNS, pipeline.ModeBlackJack} {
+		if perf := rs[mode].NormalizedPerf(single); perf > 1.001 {
+			t.Errorf("%v normalized perf %.3f > 1", mode, perf)
+		}
+		if slow := rs[mode].Slowdown(single); slow < 0.999 {
+			t.Errorf("%v slowdown %.3f < 1", mode, slow)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cfg := Default(pipeline.ModeSingle, 0)
+	if err := cfg.Validate(); err == nil {
+		t.Error("zero budget accepted")
+	}
+	cfg = Default(pipeline.ModeSingle, 100)
+	cfg.Machine.FetchWidth = 1
+	if err := cfg.Validate(); err == nil {
+		t.Error("bad machine config accepted")
+	}
+	if _, err := Run(Default(pipeline.ModeSingle, 100), "nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestStandardSitesCoverEveryWay(t *testing.T) {
+	cfg := pipeline.DefaultConfig()
+	sites := StandardSites(cfg)
+	if len(sites) < 20 {
+		t.Fatalf("campaign too small: %d sites", len(sites))
+	}
+}
+
+func TestOutcomeStrings(t *testing.T) {
+	for _, o := range []Outcome{OutcomeBenign, OutcomeDetected, OutcomeSilent, OutcomeWedged} {
+		if o.String() == "" {
+			t.Errorf("outcome %d unnamed", o)
+		}
+	}
+}

@@ -7,6 +7,7 @@
 package blackjack
 
 import (
+	"runtime"
 	"testing"
 
 	"blackjack/internal/core"
@@ -195,6 +196,58 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
+
+// BenchmarkMachineRunAllocs measures allocation pressure of one BlackJack
+// Machine.Run: allocs/op and bytes/op (the free-listed hot path should stay
+// near the machine's fixed construction cost) alongside simulation speed.
+func BenchmarkMachineRunAllocs(b *testing.B) {
+	p := prog.MustBenchmark("gcc")
+	const n = 5000
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := pipeline.New(pipeline.DefaultConfig(), pipeline.ModeBlackJack, p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := m.Run(n)
+		if st.Deadlocked {
+			b.Fatal("deadlocked")
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// benchSuiteParallel measures full-suite wall clock at a given worker count,
+// reporting aggregate committed-instruction throughput across all (benchmark,
+// mode) runs.
+func benchSuiteParallel(b *testing.B, workers int) {
+	opts := benchOpts()
+	opts.Parallel = workers
+	var committed uint64
+	for i := 0; i < b.N; i++ {
+		s, err := experiments.RunSuite(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		committed = 0
+		for _, rs := range s.Results {
+			for _, r := range rs {
+				committed += r.Stats.Committed[0]
+			}
+		}
+	}
+	b.ReportMetric(float64(committed)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
+}
+
+// BenchmarkSuiteSerial runs the reduced suite on one worker: the wall-clock
+// baseline the parallel harness is measured against.
+func BenchmarkSuiteSerial(b *testing.B) { benchSuiteParallel(b, 1) }
+
+// BenchmarkSuiteParallel runs the reduced suite with one worker per CPU; on a
+// multi-core host the wall-clock ratio to BenchmarkSuiteSerial approximates
+// the fan-out speedup (the tables stay byte-identical either way).
+func BenchmarkSuiteParallel(b *testing.B) { benchSuiteParallel(b, runtime.NumCPU()) }
 
 // BenchmarkGoldenEmulator measures the functional golden model's speed.
 func BenchmarkGoldenEmulator(b *testing.B) {

@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"blackjack/internal/experiments"
+	"blackjack/internal/profiling"
 )
 
 var experimentNames = []string{
@@ -29,11 +30,21 @@ func main() {
 		benches = flag.String("benchmarks", "", "comma-separated benchmark subset (default: all 16)")
 		bench   = flag.String("bench", "gcc", "benchmark for single-benchmark experiments (exta, extd)")
 		svgDir  = flag.String("svg", "", "also render the figures as SVG charts into this directory")
+		par     = flag.Int("parallel", 0, "worker count for suite/campaign/sweep fan-out (0 = NumCPU; output is identical at any value)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	opts := experiments.DefaultOptions()
 	opts.Instructions = *n
+	opts.Parallel = *par
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}

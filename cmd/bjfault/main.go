@@ -18,6 +18,7 @@ import (
 	"blackjack"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/profiling"
 	"blackjack/internal/rename"
 )
 
@@ -33,14 +34,24 @@ func main() {
 		reg     = flag.Int("reg", 200, "physical register for register sites")
 		split   = flag.Bool("split", true, "model split per-thread payload RAMs")
 		compare = flag.Bool("compare", false, "run the campaign under srt AND blackjack and compare")
+		par     = flag.Int("parallel", 0, "worker count for campaign fan-out over sites (0 = NumCPU; output is identical at any value)")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	m, err := blackjack.ParseMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := blackjack.DefaultConfig(m, *n)
+	cfg.Parallel = *par
 	opts := blackjack.InjectOptions{SplitPayload: *split}
 
 	if *site != "" {

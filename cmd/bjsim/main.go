@@ -14,6 +14,7 @@ import (
 
 	"blackjack"
 	"blackjack/internal/pipeline"
+	"blackjack/internal/profiling"
 )
 
 func main() {
@@ -25,6 +26,11 @@ func main() {
 		iq    = flag.Int("iq", 0, "override issue queue size (0 keeps Table 1 value)")
 		list  = flag.Bool("list", false, "list benchmarks and exit")
 		trace = flag.Int("trace", 0, "print a pipeline trace of the first N events")
+
+		allModes = flag.Bool("all-modes", false, "run all four modes concurrently and print each result")
+		par      = flag.Int("parallel", 0, "worker pool size for batch entry points (0 = NumCPU; a plain single run always uses one machine)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 
@@ -32,11 +38,18 @@ func main() {
 		fmt.Println(strings.Join(blackjack.Benchmarks(), "\n"))
 		return
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
 	m, err := blackjack.ParseMode(*mode)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := blackjack.DefaultConfig(m, *n)
+	cfg.Parallel = *par
 	if *slack > 0 {
 		cfg.Machine.Slack = *slack
 	}
@@ -45,6 +58,22 @@ func main() {
 	}
 	if *trace > 0 {
 		runTraced(cfg, *bench, *trace)
+		return
+	}
+	if *allModes {
+		rs, err := blackjack.RunAllModes(cfg.Machine, *bench, cfg.MaxInstructions)
+		if err != nil {
+			fatal(err)
+		}
+		for i, mm := range []blackjack.Mode{
+			blackjack.ModeSingle, blackjack.ModeSRT,
+			blackjack.ModeBlackJackNS, blackjack.ModeBlackJack,
+		} {
+			if i > 0 {
+				fmt.Println()
+			}
+			printResult(rs[mm])
+		}
 		return
 	}
 	res, err := blackjack.Run(cfg, *bench)

@@ -64,6 +64,9 @@ type Entry struct {
 type DTQ struct {
 	ring  *queues.Ring[*Entry]
 	index map[uint64]*Entry // Seq -> entry, for commit-time updates
+	// scratch backs the slice HeadPacket returns; the queue is polled every
+	// cycle, so the backing array is reused instead of reallocated.
+	scratch []*Entry
 }
 
 // NewDTQ builds a DTQ with the given capacity (Table 1: 1024 instructions).
@@ -123,14 +126,15 @@ func (q *DTQ) SquashYounger(seq uint64) int {
 
 // HeadPacket returns the instructions of the oldest-issued packet if every
 // one of them has committed, without consuming them. It returns nil while the
-// packet is incomplete or the queue is empty.
+// packet is incomplete or the queue is empty. The returned slice shares a
+// scratch backing array and is only valid until the next HeadPacket call.
 func (q *DTQ) HeadPacket() []*Entry {
 	n := q.ring.Len()
 	if n == 0 {
 		return nil
 	}
 	id := q.ring.At(0).PacketID
-	var pkt []*Entry
+	pkt := q.scratch[:0]
 	for i := 0; i < n; i++ {
 		e := q.ring.At(i)
 		if e.PacketID != id {
@@ -141,6 +145,7 @@ func (q *DTQ) HeadPacket() []*Entry {
 		}
 		pkt = append(pkt, e)
 	}
+	q.scratch = pkt
 	return pkt
 }
 

@@ -89,11 +89,39 @@ type Shuffler struct {
 	Disabled bool
 
 	nextID uint64
+	// slotFree recycles consumed packets' slot arrays (see RecycleSlots);
+	// outScratch backs the packet slice Shuffle returns.
+	slotFree   [][]Slot
+	outScratch []Packet
 	// statistics
 	inputPackets  uint64
 	outputPackets uint64
 	splits        uint64
 	nops          uint64
+}
+
+// newSlots returns a zeroed Width-sized slot array, reusing a recycled one
+// when available.
+func (s *Shuffler) newSlots() []Slot {
+	n := len(s.slotFree)
+	if n == 0 {
+		return make([]Slot, s.Width)
+	}
+	sl := s.slotFree[n-1]
+	s.slotFree = s.slotFree[:n-1]
+	for i := range sl {
+		sl[i] = Slot{}
+	}
+	return sl
+}
+
+// RecycleSlots returns a consumed packet's slot array for reuse. Callers
+// guarantee the packet's contents have been copied out (trailing fetch builds
+// value-typed fetch items from the slots).
+func (s *Shuffler) RecycleSlots(slots []Slot) {
+	if len(slots) == s.Width {
+		s.slotFree = append(s.slotFree, slots)
+	}
 }
 
 // Stats returns (input packets, output packets, packet splits, NOPs
@@ -117,31 +145,41 @@ func (s *Shuffler) Stats() (in, out, splits, nops uint64) {
 //   - When no slot fits, the output packet is closed and the remaining
 //     instructions start a new one (a packet split, which costs performance
 //     but preserves coverage).
+//
+// The returned slice shares a scratch backing array and is only valid until
+// the next Shuffle call; callers copy the packets out (the machine pushes
+// them into its packet queue in the same cycle).
 func (s *Shuffler) Shuffle(in []*Entry) []Packet {
 	if len(in) == 0 {
 		return nil
 	}
 	s.inputPackets++
 	if s.Disabled {
-		p := Packet{ID: s.nextID, Slots: make([]Slot, s.Width)}
+		out := s.outScratch[:0]
+		p := Packet{ID: s.nextID, Slots: s.newSlots()}
 		s.nextID++
-		for i, e := range in {
+		i := 0
+		for _, e := range in {
 			if i >= s.Width {
 				// Cannot happen when issue width equals fetch width; guard
 				// against misconfiguration by splitting.
+				out = append(out, p)
 				s.outputPackets++
-				rest := s.Shuffle(in[i:])
-				s.inputPackets-- // the recursive call recounted this packet
-				return append([]Packet{p}, rest...)
+				p = Packet{ID: s.nextID, Slots: s.newSlots()}
+				s.nextID++
+				i = 0
 			}
 			p.Slots[i] = Slot{Entry: e}
+			i++
 		}
+		out = append(out, p)
 		s.outputPackets++
-		return []Packet{p}
+		s.outScratch = out
+		return out
 	}
 
-	var out []Packet
-	cur := Packet{ID: s.nextID, Slots: make([]Slot, s.Width)}
+	out := s.outScratch[:0]
+	cur := Packet{ID: s.nextID, Slots: s.newSlots()}
 	s.nextID++
 	for _, e := range in {
 		if !s.place(&cur, e) {
@@ -151,7 +189,7 @@ func (s *Shuffler) Shuffle(in []*Entry) []Packet {
 			out = append(out, cur)
 			s.outputPackets++
 			s.splits++
-			cur = Packet{ID: s.nextID, Slots: make([]Slot, s.Width)}
+			cur = Packet{ID: s.nextID, Slots: s.newSlots()}
 			s.nextID++
 			if !s.place(&cur, e) {
 				// Unreachable for width >= 3; tolerate by dropping diversity
@@ -167,6 +205,7 @@ func (s *Shuffler) Shuffle(in []*Entry) []Packet {
 	}
 	out = append(out, cur)
 	s.outputPackets++
+	s.outScratch = out
 	return out
 }
 

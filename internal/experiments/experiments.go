@@ -10,6 +10,8 @@ import (
 	"sort"
 
 	"blackjack/internal/fault"
+	"blackjack/internal/isa"
+	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
 	"blackjack/internal/sim"
@@ -27,6 +29,11 @@ type Options struct {
 	// Benchmarks to run (default: the full 16-benchmark suite in Figure 7
 	// order).
 	Benchmarks []string
+	// Parallel bounds the worker count every batch entry point fans out
+	// across: RunSuite over (benchmark, mode) pairs, campaigns over fault
+	// sites, sweeps over their sweep points. <= 0 selects runtime.NumCPU().
+	// Every figure and table is byte-identical at every worker count.
+	Parallel int
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -56,19 +63,48 @@ type Suite struct {
 	Results map[string]map[pipeline.Mode]*sim.Result
 }
 
-// RunSuite executes the whole suite.
+// RunSuite executes the whole suite: every benchmark under every mode. The
+// (benchmark, mode) pairs are independent machines and fan out across
+// opts.Parallel workers; results are assembled in input order, so the suite
+// — and every figure derived from it — is byte-identical at any worker
+// count.
 func RunSuite(opts Options) (*Suite, error) {
 	opts.fill()
-	s := &Suite{Opts: opts, Results: make(map[string]map[pipeline.Mode]*sim.Result, len(opts.Benchmarks))}
-	for _, name := range opts.Benchmarks {
-		rs, err := sim.RunAllModes(opts.Machine, name, opts.Instructions)
+	// Generate each benchmark's program once; the mode runs share it
+	// (programs are immutable once built — every machine copies the data
+	// image at construction).
+	progs, err := parallel.Map(opts.Parallel, len(opts.Benchmarks), func(i int) (*isa.Program, error) {
+		p, err := prog.Benchmark(opts.Benchmarks[i])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", opts.Benchmarks[i], err)
+		}
+		return p, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	modes := sim.AllModes
+	results, err := parallel.Map(opts.Parallel, len(opts.Benchmarks)*len(modes), func(k int) (*sim.Result, error) {
+		name, mode := opts.Benchmarks[k/len(modes)], modes[k%len(modes)]
+		r, err := sim.RunProgram(sim.Config{
+			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+		}, progs[k/len(modes)])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
 		}
-		for mode, r := range rs {
-			if !r.OutputMatches {
-				return nil, fmt.Errorf("experiments: %s/%v: output diverged from golden model", name, mode)
-			}
+		if !r.OutputMatches {
+			return nil, fmt.Errorf("experiments: %s/%v: output diverged from golden model", name, mode)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{Opts: opts, Results: make(map[string]map[pipeline.Mode]*sim.Result, len(opts.Benchmarks))}
+	for i, name := range opts.Benchmarks {
+		rs := make(map[pipeline.Mode]*sim.Result, len(modes))
+		for j, mode := range modes {
+			rs[mode] = results[i*len(modes)+j]
 		}
 		s.Results[name] = rs
 	}
@@ -347,7 +383,7 @@ func ExtAFaultInjection(opts Options, benchmark string) ([]ExtARow, error) {
 	sites := sim.StandardSites(opts.Machine)
 	var rows []ExtARow
 	for _, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
-		cfg := sim.Config{Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions}
+		cfg := sim.Config{Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions, Parallel: opts.Parallel}
 		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
@@ -442,9 +478,11 @@ func ExtCPayloadRAM(opts Options, benchmarks []string) ([]ExtCRow, error) {
 			Class: fault.PayloadRAM, Slot: slot, Thread: 0, Field: fault.FieldImm, BitMask: 2,
 		})
 	}
+	// The benchmark loop stays serial: each Campaign already fans its sites
+	// out across opts.Parallel workers, and nesting pools would oversubscribe.
 	var rows []ExtCRow
 	for _, b := range benchmarks {
-		cfg := sim.Config{Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions}
+		cfg := sim.Config{Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions, Parallel: opts.Parallel}
 		shared, err := sim.Campaign(cfg, b, sites, sim.InjectOptions{SplitPayload: false})
 		if err != nil {
 			return nil, err
@@ -509,33 +547,41 @@ func ExtDSweep(opts Options, benchmark string, slacks, dtqs []int) ([]ExtDRow, e
 		return nil, err
 	}
 
-	var rows []ExtDRow
-	runOne := func(param string, value int, edit func(*pipeline.Config)) error {
+	// Flatten both sweeps into one point list and fan out: every point is an
+	// independent machine on the shared program.
+	type point struct {
+		param string
+		value int
+	}
+	points := make([]point, 0, len(slacks)+len(dtqs))
+	for _, sl := range slacks {
+		points = append(points, point{"slack", sl})
+	}
+	for _, d := range dtqs {
+		points = append(points, point{"dtq", d})
+	}
+	rows, err := parallel.Map(opts.Parallel, len(points), func(i int) (ExtDRow, error) {
 		machine := opts.Machine
-		edit(&machine)
+		if points[i].param == "slack" {
+			machine.Slack = points[i].value
+		} else {
+			machine.DTQ = points[i].value
+		}
 		r, err := sim.RunProgram(sim.Config{
 			Machine: machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
 		}, p)
 		if err != nil {
-			return err
+			return ExtDRow{}, err
 		}
-		rows = append(rows, ExtDRow{
-			Param: param, Value: value, Benchmark: benchmark,
+		return ExtDRow{
+			Param: points[i].param, Value: points[i].value, Benchmark: benchmark,
 			Perf:     r.NormalizedPerf(baseline),
 			Coverage: r.Stats.Coverage(),
 			TTInterf: r.Stats.TTInterferenceFrac(),
-		})
-		return nil
-	}
-	for _, sl := range slacks {
-		if err := runOne("slack", sl, func(c *pipeline.Config) { c.Slack = sl }); err != nil {
-			return nil, err
-		}
-	}
-	for _, d := range dtqs {
-		if err := runOne("dtq", d, func(c *pipeline.Config) { c.DTQ = d }); err != nil {
-			return nil, err
-		}
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -572,32 +618,31 @@ func ExtEMergingShuffle(opts Options, benchmarks []string) ([]ExtERow, error) {
 	if len(benchmarks) == 0 {
 		benchmarks = []string{"equake", "gcc", "gzip", "sixtrack"}
 	}
-	var rows []ExtERow
-	for _, b := range benchmarks {
-		p, err := prog.Benchmark(b)
+	// Fan out over (benchmark, variant) runs — three independent machines per
+	// benchmark — then assemble rows from the ordered results.
+	const variants = 3 // single, BlackJack, BlackJack+merge
+	runs, err := parallel.Map(opts.Parallel, len(benchmarks)*variants, func(k int) (*sim.Result, error) {
+		p, err := prog.Benchmark(benchmarks[k/variants])
 		if err != nil {
 			return nil, err
 		}
-		single, err := sim.RunProgram(sim.Config{
-			Machine: opts.Machine, Mode: pipeline.ModeSingle, MaxInstructions: opts.Instructions,
+		machine, mode := opts.Machine, pipeline.ModeBlackJack
+		switch k % variants {
+		case 0:
+			mode = pipeline.ModeSingle
+		case 2:
+			machine.MergePackets = true
+		}
+		return sim.RunProgram(sim.Config{
+			Machine: machine, Mode: mode, MaxInstructions: opts.Instructions,
 		}, p)
-		if err != nil {
-			return nil, err
-		}
-		base, err := sim.RunProgram(sim.Config{
-			Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
-		}, p)
-		if err != nil {
-			return nil, err
-		}
-		mcfg := opts.Machine
-		mcfg.MergePackets = true
-		merged, err := sim.RunProgram(sim.Config{
-			Machine: mcfg, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
-		}, p)
-		if err != nil {
-			return nil, err
-		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtERow, 0, len(benchmarks))
+	for i, b := range benchmarks {
+		single, base, merged := runs[i*variants], runs[i*variants+1], runs[i*variants+2]
 		rows = append(rows, ExtERow{
 			Benchmark:   b,
 			BasePerf:    base.NormalizedPerf(single),
@@ -647,33 +692,44 @@ func ExtFMultiFault(opts Options, benchmark string, maxFaults int) ([]ExtFRow, e
 	if err != nil {
 		return nil, err
 	}
-	var rows []ExtFRow
+	// Deterministic combinations: consecutive windows over the standard site
+	// list, stride chosen so the k faults land in distinct classes. Flatten
+	// every (k, start) window into one work list and fan out; rows aggregate
+	// the ordered results per fault count afterwards.
+	type window struct{ faults, start int }
+	var windows []window
 	for k := 1; k <= maxFaults; k++ {
-		row := ExtFRow{Faults: k}
-		// Deterministic combinations: consecutive windows over the standard
-		// site list, stride chosen so the k faults land in distinct classes.
 		for start := 0; start+k <= len(all); start += k + 2 {
-			sites := all[start : start+k]
-			r, err := sim.InjectProgramMulti(sim.Config{
-				Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
-			}, p, sites, sim.InjectOptions{SplitPayload: true})
-			if err != nil {
-				return nil, err
-			}
-			row.Runs++
-			if r.Activations > 0 {
-				row.Activated++
-			}
-			switch r.Outcome {
-			case sim.OutcomeDetected:
-				row.Detected++
-			case sim.OutcomeSilent:
-				row.Silent++
-			case sim.OutcomeWedged:
-				row.Wedged++
-			}
+			windows = append(windows, window{k, start})
 		}
-		rows = append(rows, row)
+	}
+	results, err := parallel.Map(opts.Parallel, len(windows), func(i int) (sim.InjectionResult, error) {
+		w := windows[i]
+		return sim.InjectProgramMulti(sim.Config{
+			Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
+		}, p, all[w.start:w.start+w.faults], sim.InjectOptions{SplitPayload: true})
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtFRow, maxFaults)
+	for k := 1; k <= maxFaults; k++ {
+		rows[k-1].Faults = k
+	}
+	for i, r := range results {
+		row := &rows[windows[i].faults-1]
+		row.Runs++
+		if r.Activations > 0 {
+			row.Activated++
+		}
+		switch r.Outcome {
+		case sim.OutcomeDetected:
+			row.Detected++
+		case sim.OutcomeSilent:
+			row.Silent++
+		case sim.OutcomeWedged:
+			row.Wedged++
+		}
 	}
 	return rows, nil
 }
@@ -700,7 +756,7 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 	sites := sim.TransientSites(opts.Machine, 20)
 	var rows []ExtARow
 	for _, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
-		cfg := sim.Config{Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions}
+		cfg := sim.Config{Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions, Parallel: opts.Parallel}
 		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
@@ -760,47 +816,58 @@ type ExtHRow struct {
 }
 
 // ExtHSeedRobustness re-runs the headline metrics with the workload
-// generator reseeded (every profile's seed shifted by the offset): the
-// conclusions must not be artifacts of one random instruction stream.
+// generator reseeded per offset: the conclusions must not be artifacts of one
+// random instruction stream. Each run's seed is derived from its (benchmark,
+// offset) identity via prog.DeriveSeed — never from shared mutable state —
+// so an offset means the same instruction stream at any worker count and in
+// any execution order, and distinct (benchmark, offset) pairs never alias
+// (the suite's base seeds are consecutive; naive base+offset arithmetic
+// would collide one benchmark's offset stream with a neighbour's baseline).
 func ExtHSeedRobustness(opts Options, offsets []uint64) ([]ExtHRow, error) {
 	opts.fill()
 	if len(offsets) == 0 {
 		offsets = []uint64{0, 10_000, 20_000}
 	}
-	var rows []ExtHRow
-	for _, off := range offsets {
+	modes := []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack}
+	// One flattened work list over (offset, benchmark): each item generates
+	// its reseeded program and runs the three modes on it.
+	type cell struct{ res [3]*sim.Result }
+	nb := len(opts.Benchmarks)
+	cells, err := parallel.Map(opts.Parallel, len(offsets)*nb, func(k int) (cell, error) {
+		off, bench := offsets[k/nb], opts.Benchmarks[k%nb]
+		p, err := prog.SeededBenchmark(bench, off)
+		if err != nil {
+			return cell{}, err
+		}
+		var c cell
+		for i, mode := range modes {
+			r, err := sim.RunProgram(sim.Config{
+				Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+			}, p)
+			if err != nil {
+				return cell{}, err
+			}
+			if !r.OutputMatches {
+				return cell{}, fmt.Errorf("experiments: %s seed+%d/%v diverged from golden model", bench, off, mode)
+			}
+			c.res[i] = r
+		}
+		return c, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ExtHRow, 0, len(offsets))
+	for oi, off := range offsets {
 		row := ExtHRow{SeedOffset: off}
-		n := 0
-		for _, bench := range opts.Benchmarks {
-			profile, err := prog.ProfileByName(bench)
-			if err != nil {
-				return nil, err
-			}
-			profile.Seed += off
-			p, err := prog.Generate(profile)
-			if err != nil {
-				return nil, err
-			}
-			var res [3]*sim.Result
-			for i, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
-				r, err := sim.RunProgram(sim.Config{
-					Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
-				}, p)
-				if err != nil {
-					return nil, err
-				}
-				if !r.OutputMatches {
-					return nil, fmt.Errorf("experiments: %s seed+%d/%v diverged from golden model", bench, off, mode)
-				}
-				res[i] = r
-			}
+		for bi := 0; bi < nb; bi++ {
+			res := cells[oi*nb+bi].res
 			row.SRTCov += res[1].Stats.Coverage()
 			row.BJCov += res[2].Stats.Coverage()
 			row.SRTPerf += res[1].NormalizedPerf(res[0])
 			row.BJPerf += res[2].NormalizedPerf(res[0])
-			n++
 		}
-		f := float64(n)
+		f := float64(nb)
 		row.SRTCov /= f
 		row.BJCov /= f
 		row.SRTPerf /= f

@@ -1,0 +1,113 @@
+// Package parallel provides the bounded worker pool underlying every batch
+// entry point of the simulation harness: experiment suites (benchmark x mode
+// pairs), fault-injection campaigns (one run per site) and parameter sweeps
+// (one run per sweep point). Each pipeline.Machine is fully independent, so
+// these workloads are embarrassingly parallel; what the harness must
+// guarantee is that parallelism never changes results. The pool therefore
+//
+//   - assembles results in input order, regardless of completion order;
+//   - aggregates errors deterministically: the lowest-indexed error among
+//     the items that ran wins (item 0 is always attempted, and with a single
+//     worker this is exactly the serial loop's first error);
+//   - cancels outstanding work after the first observed failure, errgroup
+//     style, without ever mutating shared state from two goroutines.
+//
+// Workers pull indices from a single atomic counter, so no work list is
+// materialized and the pool costs O(workers) goroutines regardless of n.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers normalizes a requested worker count: values <= 0 select
+// runtime.NumCPU() (the harness-wide default), everything else is returned
+// unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach invokes fn(i) for every i in [0, n) from at most workers
+// goroutines and blocks until all invocations finish. When any invocation
+// fails, no new work is started and the lowest-indexed error among the items
+// that ran is returned — the deterministic analogue of a serial loop's first
+// error. fn must be safe for concurrent invocation on distinct indices.
+func ForEach(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Serial fast path: no goroutines, so single-worker runs behave
+		// exactly like the pre-parallel harness (including error timing).
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+		errs   = make([]error, n)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				// Item 0 always runs so an all-fail batch reports item 0's
+				// error no matter how the workers are scheduled.
+				if i > 0 && failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map invokes fn(i) for every i in [0, n) from at most workers goroutines
+// and returns the results assembled in input order. Error semantics match
+// ForEach: first failing index wins, outstanding work is cancelled, and a
+// non-nil error means the result slice is nil.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(workers, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

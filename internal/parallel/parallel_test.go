@@ -1,0 +1,117 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersDefault(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := Workers(7); got != 7 {
+		t.Errorf("Workers(7) = %d, want 7", got)
+	}
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	const n = 100
+	want := make([]int, n)
+	for i := range want {
+		want[i] = i * i
+	}
+	for _, workers := range []int{1, 2, 8, 64} {
+		got, err := Map(workers, n, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachRunsEverything(t *testing.T) {
+	const n = 257
+	var ran atomic.Int64
+	if err := ForEach(8, n, func(int) error { ran.Add(1); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != n {
+		t.Errorf("ran %d of %d items", ran.Load(), n)
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { t.Fatal("fn called"); return nil }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFirstErrorWinsSerial(t *testing.T) {
+	// With one worker the loop is strictly serial: item 3 fails and item 4
+	// must never run.
+	var ran atomic.Int64
+	err := ForEach(1, 10, func(i int) error {
+		ran.Add(1)
+		if i >= 3 {
+			return fmt.Errorf("item %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "item 3" {
+		t.Errorf("err = %v, want item 3", err)
+	}
+	if ran.Load() != 4 {
+		t.Errorf("ran %d items, want 4", ran.Load())
+	}
+}
+
+func TestLowestIndexErrorWins(t *testing.T) {
+	// Every item fails; regardless of scheduling, the reported error must be
+	// the lowest index that ran — and index 0 always runs.
+	for _, workers := range []int{2, 8} {
+		err := ForEach(workers, 50, func(i int) error { return fmt.Errorf("item %d", i) })
+		if err == nil || err.Error() != "item 0" {
+			t.Errorf("workers=%d: err = %v, want item 0", workers, err)
+		}
+	}
+}
+
+func TestErrorCancelsRemainingWork(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEach(2, 10_000, func(i int) error {
+		ran.Add(1)
+		return errors.New("boom")
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// Cancellation is best-effort but must kick in long before the full list.
+	if ran.Load() > 100 {
+		t.Errorf("ran %d items after first error", ran.Load())
+	}
+}
+
+func TestMapErrorReturnsNil(t *testing.T) {
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if out != nil {
+		t.Errorf("out = %v, want nil on error", out)
+	}
+}

@@ -10,10 +10,21 @@ import "container/heap"
 func (m *Machine) resolveCompletions() {
 	for len(m.events) > 0 && m.events[0].DoneCycle <= m.cycle {
 		u := heap.Pop(&m.events).(*UOp)
-		if !u.Squashed {
-			m.trace(TraceComplete, u)
+		u.InEvents = false
+		if u.Squashed {
+			// The heap held the last reference to an issued-then-squashed uop
+			// (squash already removed it from the window and issue queue).
+			m.recycleUOp(u)
+			continue
 		}
-		if u.Squashed || !u.Inst.IsBranch() || u.Thread != leadThread {
+		m.trace(TraceComplete, u)
+		if u.IsNOP {
+			// Shuffle NOPs live only in the issue queue and this heap (they
+			// never enter the active list); this pop is their last reference.
+			m.recycleUOp(u)
+			continue
+		}
+		if !u.Inst.IsBranch() || u.Thread != leadThread {
 			continue
 		}
 		m.stats.Branches++

@@ -12,15 +12,15 @@ import (
 // instruction.
 func (m *Machine) dispatchStage() {
 	budget := m.cfg.RenameWidth
-	order := []int{leadThread}
+	order := [2]int{leadThread, trailThread}
+	n := 1
 	if m.mode.Redundant() {
-		if m.cycle%2 == 0 {
-			order = []int{leadThread, trailThread}
-		} else {
-			order = []int{trailThread, leadThread}
+		n = 2
+		if m.cycle%2 != 0 {
+			order = [2]int{trailThread, leadThread}
 		}
 	}
-	for _, id := range order {
+	for _, id := range order[:n] {
 		t := m.threads[id]
 		// The BlackJack trailing frontend handles one shuffled packet per
 		// cycle as a unit (mirroring the one-packet-per-cycle fetch of
@@ -153,7 +153,8 @@ func (m *Machine) dispatchInOrder(t *thread, item fetchItem) bool {
 	}
 
 	t.nextSeq++
-	u := &UOp{
+	u := m.allocUOp()
+	*u = UOp{
 		Seq:      t.nextSeq,
 		Thread:   t.id,
 		PC:       item.pc,
@@ -243,7 +244,8 @@ func (m *Machine) dispatchTrailingBJ(t *thread, item fetchItem) bool {
 	}
 	if item.isNOP {
 		t.nextSeq++
-		u := &UOp{
+		u := m.allocUOp()
+		*u = UOp{
 			Seq:    t.nextSeq,
 			Thread: t.id,
 			PC:     -1,
@@ -282,7 +284,8 @@ func (m *Machine) dispatchTrailingBJ(t *thread, item fetchItem) bool {
 	}
 
 	t.nextSeq++
-	u := &UOp{
+	u := m.allocUOp()
+	*u = UOp{
 		Seq:      t.nextSeq,
 		Thread:   t.id,
 		PC:       item.pc,

@@ -197,6 +197,7 @@ func (m *Machine) fetchTrailingPacket(t *thread) int {
 			t.fetched++
 			m.stats.Fetched[t.id] = t.fetched
 			n++
+			m.recycleEntry(e)
 		case s.IsNOP:
 			t.fetchQ.Push(fetchItem{
 				pc:         -1,
@@ -213,5 +214,8 @@ func (m *Machine) fetchTrailingPacket(t *thread) int {
 			n++
 		}
 	}
+	// Every slot's contents are now value-copied into the fetch queue; the
+	// packet's slot array goes back to the shuffler.
+	m.shuffler.RecycleSlots(pkt.Slots)
 	return n
 }

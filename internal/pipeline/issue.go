@@ -285,7 +285,8 @@ func (m *Machine) issueUOp(u *UOp, way int) {
 	// Leading issue in BlackJack modes allocates the DTQ entry, in issue
 	// order; co-issued instructions share a packet (keyed by issue cycle).
 	if m.mode.UsesDTQ() && u.Thread == leadThread {
-		if !m.dtq.Allocate(&core.Entry{
+		e := m.allocEntry()
+		*e = core.Entry{
 			Seq:      u.Seq,
 			PacketID: uint64(m.cycle),
 			PC:       u.PC,
@@ -296,11 +297,13 @@ func (m *Machine) issueUOp(u *UOp, way int) {
 			PSrc1:    u.PSrc1,
 			PSrc2:    u.PSrc2,
 			PDest:    u.PDest,
-		}) {
+		}
+		if !m.dtq.Allocate(e) {
 			m.internalError("DTQ overflow despite reservation")
 		}
 	}
 
+	u.InEvents = true
 	heap.Push(&m.events, u)
 }
 

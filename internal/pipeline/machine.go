@@ -98,6 +98,13 @@ type Machine struct {
 	cycle  int64
 	gseq   uint64
 
+	// Free lists for the per-instruction hot-path records. Strictly
+	// per-machine state — no globals, no sync — so machines stay independent
+	// under the parallel harness. A recycled record is fully overwritten at
+	// its next allocation site.
+	uopFree   []*UOp
+	entryFree []*core.Entry
+
 	cap         uint64 // leading-commit target for this run
 	leadStopped bool
 
@@ -149,6 +156,11 @@ func New(cfg Config, mode Mode, prog *isa.Program, opts ...Option) (*Machine, er
 		dcache:    cache.New(cfg.Cache),
 		iqSlots:   make([]bool, cfg.IssueQueue),
 		areaModel: area.Default(),
+		// Steady-state capacities: the issue queue is bounded by config; the
+		// event heap holds at most the issued-in-flight population of both
+		// threads' active lists.
+		iq:     make([]*UOp, 0, cfg.IssueQueue),
+		events: make(eventHeap, 0, 2*cfg.ActiveList),
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -381,6 +393,12 @@ func (m *Machine) squash(t *thread, afterSeq uint64, newPC int) {
 		m.stats.Squashed++
 		t.rob.clearAt(v - 1)
 		t.rob.shrinkTail(v - 1)
+		// A squashed uop not in the event heap has no remaining references
+		// once the issue-queue compaction below drops it; issued ones are
+		// recycled when resolveCompletions pops them.
+		if !u.InEvents {
+			m.recycleUOp(u)
+		}
 	}
 	t.nextSeq = afterSeq
 	t.fetchQ.Reset()
@@ -403,6 +421,45 @@ func (m *Machine) squash(t *thread, afterSeq uint64, newPC int) {
 	if m.dtq != nil && t.id == leadThread {
 		m.dtq.SquashYounger(afterSeq)
 	}
+}
+
+// allocUOp takes a UOp from the machine's free list (or the heap). Every
+// call site fully overwrites the record with a struct-literal assignment, so
+// no stale state survives recycling.
+func (m *Machine) allocUOp() *UOp {
+	n := len(m.uopFree)
+	if n == 0 {
+		return &UOp{}
+	}
+	u := m.uopFree[n-1]
+	m.uopFree = m.uopFree[:n-1]
+	return u
+}
+
+// recycleUOp returns a dead uop to the free list. Callers guarantee the uop
+// has left every machine structure: the active list and LSQ (popped or
+// cleared), the issue queue (issue or squash compaction), and the event heap
+// (InEvents false).
+func (m *Machine) recycleUOp(u *UOp) {
+	m.uopFree = append(m.uopFree, u)
+}
+
+// allocEntry takes a DTQ entry from the free list (or the heap); the caller
+// fully overwrites it.
+func (m *Machine) allocEntry() *core.Entry {
+	n := len(m.entryFree)
+	if n == 0 {
+		return &core.Entry{}
+	}
+	e := m.entryFree[n-1]
+	m.entryFree = m.entryFree[:n-1]
+	return e
+}
+
+// recycleEntry returns a consumed DTQ entry (trailing fetch copied its
+// fields) to the free list.
+func (m *Machine) recycleEntry(e *core.Entry) {
+	m.entryFree = append(m.entryFree, e)
 }
 
 // internalError records a simulator invariant violation. It panics: such

@@ -1,0 +1,50 @@
+package prog
+
+import "blackjack/internal/isa"
+
+// DeriveSeed maps a profile's base seed and a study offset to the generator
+// seed of that (profile, offset) identity. Offset 0 is the identity (the
+// profile's published seed, so offset-0 studies reproduce the default suite
+// exactly); any other offset is mixed through a splitmix64 finalizer so that
+// distinct (base, offset) pairs land on unrelated streams.
+//
+// Deriving the seed from the run's identity — rather than advancing shared
+// mutable state — is what makes seed studies meaningful under the parallel
+// harness: a run's instruction stream depends only on (benchmark, offset),
+// never on which worker executed it or in what order. It also removes the
+// aliasing of naive base+offset arithmetic, where the suite's consecutive
+// base seeds (equake=101, swim=102, ...) made one benchmark's offset stream
+// collide with a neighbour's baseline.
+func DeriveSeed(base, offset uint64) uint64 {
+	if offset == 0 {
+		return base
+	}
+	z := base + offset*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// SeededProfile returns the named built-in profile reseeded for the given
+// offset via DeriveSeed.
+func SeededProfile(name string, offset uint64) (Profile, error) {
+	p, err := ProfileByName(name)
+	if err != nil {
+		return Profile{}, err
+	}
+	p.Seed = DeriveSeed(p.Seed, offset)
+	return p, nil
+}
+
+// SeededBenchmark generates the named built-in workload reseeded for the
+// given offset.
+func SeededBenchmark(name string, offset uint64) (*isa.Program, error) {
+	p, err := SeededProfile(name, offset)
+	if err != nil {
+		return nil, err
+	}
+	return Generate(p)
+}

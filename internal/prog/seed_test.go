@@ -1,0 +1,68 @@
+package prog
+
+import "testing"
+
+func TestDeriveSeedIdentityAtZero(t *testing.T) {
+	for _, base := range []uint64{0, 101, 1 << 40} {
+		if got := DeriveSeed(base, 0); got != base {
+			t.Errorf("DeriveSeed(%d, 0) = %d, want identity", base, got)
+		}
+	}
+}
+
+func TestDeriveSeedNoNeighbourAliasing(t *testing.T) {
+	// The suite's base seeds are consecutive (equake=101, swim=102, ...);
+	// naive base+offset arithmetic would alias equake's offset-1 stream with
+	// swim's baseline. Derived seeds must not collide across any suite pair
+	// and offsets 0..4.
+	offsets := []uint64{0, 1, 2, 10_000, 20_000}
+	seen := make(map[uint64]string)
+	for _, name := range BenchmarkNames() {
+		base, err := ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, off := range offsets {
+			s := DeriveSeed(base.Seed, off)
+			if prev, dup := seen[s]; dup {
+				t.Errorf("seed collision: %s offset %d aliases %s", name, off, prev)
+			}
+			seen[s] = name
+		}
+	}
+}
+
+func TestSeededBenchmarkDeterministic(t *testing.T) {
+	a, err := SeededBenchmark("gzip", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SeededBenchmark("gzip", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Code) != len(b.Code) {
+		t.Fatalf("code lengths differ: %d vs %d", len(a.Code), len(b.Code))
+	}
+	for i := range a.Code {
+		if a.Code[i] != b.Code[i] {
+			t.Fatalf("instruction %d differs", i)
+		}
+	}
+	base, err := SeededBenchmark("gzip", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.Code) == len(a.Code) {
+		differs := false
+		for i := range base.Code {
+			if base.Code[i] != a.Code[i] {
+				differs = true
+				break
+			}
+		}
+		if !differs {
+			t.Error("offset 7 generated the same program as offset 0")
+		}
+	}
+}

@@ -250,6 +250,9 @@ type StreamEntry struct {
 // thread's dynamic instruction stream (see DESIGN.md).
 type Stream struct {
 	ring *queues.Ring[StreamEntry]
+	// scratch backs the slice FetchGroup returns; the trailing frontend polls
+	// every cycle, so the backing array is reused instead of reallocated.
+	scratch []StreamEntry
 }
 
 // NewStream builds a stream queue with the given capacity.
@@ -277,14 +280,16 @@ func (s *Stream) Pop() (StreamEntry, bool) { return s.ring.Pop() }
 // width-aligned I-cache block with sequential PCs — the same group formation
 // the leading thread's fetch uses, so the trailing thread's frontend-way
 // assignment (PC mod width) is identical to the leading thread's. This is
-// exactly the zero-frontend-diversity property of SRT (Section 4.1).
+// exactly the zero-frontend-diversity property of SRT (Section 4.1). The
+// returned slice shares a scratch backing array and is only valid until the
+// next FetchGroup call.
 func (s *Stream) FetchGroup(width int) []StreamEntry {
 	n := s.ring.Len()
 	if n == 0 {
 		return nil
 	}
 	first := s.ring.At(0)
-	group := make([]StreamEntry, 0, width)
+	group := s.scratch[:0]
 	block := first.PC / width
 	for i := 0; i < n && len(group) < width; i++ {
 		e := s.ring.At(i)
@@ -299,5 +304,6 @@ func (s *Stream) FetchGroup(width int) []StreamEntry {
 	for range group {
 		s.ring.Pop()
 	}
+	s.scratch = group
 	return group
 }

@@ -6,6 +6,7 @@ import (
 	"blackjack/internal/detect"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
 	"blackjack/internal/rename"
@@ -220,19 +221,23 @@ func (s *CampaignSummary) DetectionRate() float64 {
 	return float64(det) / float64(det+bad)
 }
 
-// Campaign injects every site into the same benchmark and summarizes.
+// Campaign injects every site into the same benchmark and summarizes. The
+// per-site runs are independent machines and fan out across cfg.Parallel
+// workers (default runtime.NumCPU()); results are assembled in site order, so
+// the summary is byte-identical at every worker count.
 func Campaign(cfg Config, benchmark string, sites []fault.Site, opts InjectOptions) (*CampaignSummary, error) {
 	p, err := prog.Benchmark(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	sum := &CampaignSummary{Counts: make(map[Outcome]int)}
-	for _, site := range sites {
-		r, err := InjectProgram(cfg, p, site, opts)
-		if err != nil {
-			return nil, err
-		}
-		sum.Results = append(sum.Results, r)
+	results, err := parallel.Map(cfg.Parallel, len(sites), func(i int) (InjectionResult, error) {
+		return InjectProgram(cfg, p, sites[i], opts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	sum := &CampaignSummary{Results: results, Counts: make(map[Outcome]int)}
+	for _, r := range results {
 		sum.Counts[r.Outcome]++
 		if r.Activations > 0 {
 			sum.ActiveRuns++

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"blackjack/internal/isa"
+	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
 )
@@ -21,6 +22,11 @@ type Config struct {
 	Mode pipeline.Mode
 	// MaxInstructions is the leading-thread committed-instruction budget.
 	MaxInstructions int
+	// Parallel bounds the worker count of batch entry points built on this
+	// config (Campaign, RunAllModes); <= 0 selects runtime.NumCPU(). A single
+	// simulation is always one machine on one goroutine — results are
+	// byte-identical at every worker count.
+	Parallel int
 }
 
 // Default returns a Table 1 machine in the given mode with the given budget.
@@ -110,22 +116,28 @@ func Run(cfg Config, benchmark string) (*Result, error) {
 	return RunProgram(cfg, p)
 }
 
+// AllModes lists the four machine configurations of the paper's evaluation.
+var AllModes = []pipeline.Mode{
+	pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJackNS, pipeline.ModeBlackJack,
+}
+
 // RunAllModes runs a benchmark under single, SRT, BlackJack-NS and BlackJack
-// with the same budget, returning results keyed by mode.
+// with the same budget, returning results keyed by mode. The four runs are
+// independent machines and execute concurrently (one worker per mode).
 func RunAllModes(machine pipeline.Config, benchmark string, maxInstructions int) (map[pipeline.Mode]*Result, error) {
 	p, err := prog.Benchmark(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[pipeline.Mode]*Result, 4)
-	for _, mode := range []pipeline.Mode{
-		pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJackNS, pipeline.ModeBlackJack,
-	} {
-		r, err := RunProgram(Config{Machine: machine, Mode: mode, MaxInstructions: maxInstructions}, p)
-		if err != nil {
-			return nil, err
-		}
-		out[mode] = r
+	rs, err := parallel.Map(len(AllModes), len(AllModes), func(i int) (*Result, error) {
+		return RunProgram(Config{Machine: machine, Mode: AllModes[i], MaxInstructions: maxInstructions}, p)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[pipeline.Mode]*Result, len(AllModes))
+	for i, mode := range AllModes {
+		out[mode] = rs[i]
 	}
 	return out, nil
 }

@@ -34,6 +34,7 @@ package blackjack
 
 import (
 	"blackjack/internal/detect"
+	"blackjack/internal/diffcheck"
 	"blackjack/internal/experiments"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
@@ -171,6 +172,40 @@ func Campaign(cfg Config, benchmark string, sites []FaultSite, opts InjectOption
 // StandardFaultSites returns the canonical campaign for a machine: every
 // frontend and backend way, payload slots and registers.
 func StandardFaultSites(machine MachineConfig) []FaultSite { return sim.StandardSites(machine) }
+
+// Differential verification (the bjfuzz harness).
+type (
+	// FuzzOptions configure a differential fuzzing campaign: random programs
+	// cross-checked against the ISA golden model under every machine variant,
+	// with structural safe-shuffle/DTQ invariants enforced during execution.
+	FuzzOptions = diffcheck.FuzzOptions
+	// FuzzSummary aggregates a campaign, including minimized failures.
+	FuzzSummary = diffcheck.FuzzSummary
+	// CoverageMatrixOptions configure the fault-coverage matrix.
+	CoverageMatrixOptions = diffcheck.MatrixOptions
+	// FaultCoverageMatrix asserts every fault class × pipeline structure is
+	// exercised and detected (or explicitly benign).
+	FaultCoverageMatrix = diffcheck.Matrix
+)
+
+// FuzzPrograms runs a differential fuzzing campaign.
+func FuzzPrograms(opts FuzzOptions) (*FuzzSummary, error) { return diffcheck.Fuzz(opts) }
+
+// CheckProgramAllModes differentially checks one program under every machine
+// variant against the golden model and returns any divergences.
+func CheckProgramAllModes(machine MachineConfig, p *Program, maxInstructions int) []string {
+	rep := diffcheck.CheckProgram(machine, p, maxInstructions)
+	var out []string
+	for _, d := range rep.Divergences {
+		out = append(out, d.String())
+	}
+	return out
+}
+
+// RunCoverageMatrix runs the fault-injection coverage matrix.
+func RunCoverageMatrix(opts CoverageMatrixOptions) (*FaultCoverageMatrix, error) {
+	return diffcheck.CoverageMatrix(opts)
+}
 
 // Experiments.
 type (

@@ -1,0 +1,180 @@
+// Command bjfuzz is the differential fuzzing and verification harness: it
+// generates randomized-but-valid programs (adversarial shapes plus
+// randomized workload profiles), runs each through the pipeline in every
+// redundancy configuration, cross-checks the complete committed
+// architectural state against the ISA golden model, enforces safe-shuffle
+// and DTQ structural invariants during execution, and minimizes any failure
+// into a replayable corpus seed. It can also run the fault-injection
+// coverage matrix asserting every fault class × pipeline structure is
+// exercised and detected (or explicitly benign).
+//
+// Usage:
+//
+//	bjfuzz -n 500                          # 500 programs, all five variants
+//	bjfuzz -n 200 -variant blackjack       # one variant only
+//	bjfuzz -matrix                         # fault-coverage matrix
+//	bjfuzz -replay internal/diffcheck/testdata/corpus
+//	bjfuzz -emit-corpus 8 -corpus-dir internal/diffcheck/testdata/corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"blackjack"
+	"blackjack/internal/diffcheck"
+	"blackjack/internal/pipeline"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 500, "number of random programs to check")
+		seed     = flag.Uint64("seed", 1, "campaign seed (derives every program deterministically)")
+		maxInstr = flag.Int("max-instr", 5000, "committed-instruction budget per run")
+		variant  = flag.String("variant", "", "restrict to one variant: single, srt, blackjack-ns, blackjack, blackjack+merge (empty: all)")
+		par      = flag.Int("parallel", 0, "worker count (0 = NumCPU; results identical at any value)")
+		noShrink = flag.Bool("no-shrink", false, "skip delta-debugging minimization of failures")
+		reproDir = flag.String("repro-dir", "", "write minimized failure reproducers into this directory as go-fuzz corpus files")
+
+		matrix     = flag.Bool("matrix", false, "run the fault-injection coverage matrix instead of fuzzing")
+		matrixMode = flag.String("matrix-mode", "blackjack", "machine mode for the coverage matrix (srt, blackjack-ns, blackjack)")
+
+		replay     = flag.String("replay", "", "replay a corpus directory instead of fuzzing")
+		emitCorpus = flag.Int("emit-corpus", 0, "write this many generator seeds as corpus files and exit")
+		corpusDir  = flag.String("corpus-dir", "internal/diffcheck/testdata/corpus", "corpus directory for -emit-corpus")
+	)
+	flag.Parse()
+
+	switch {
+	case *matrix:
+		runMatrix(*matrixMode, *maxInstr, *seed, *par)
+	case *replay != "":
+		runReplay(*replay, *maxInstr)
+	case *emitCorpus > 0:
+		runEmit(*emitCorpus, *seed, *corpusDir)
+	default:
+		runFuzz(*n, *seed, *maxInstr, *variant, *par, !*noShrink, *reproDir)
+	}
+}
+
+func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shrink bool, reproDir string) {
+	opts := diffcheck.FuzzOptions{
+		Programs: n,
+		Seed:     seed,
+		MaxInstr: maxInstr,
+		Workers:  par,
+		Shrink:   shrink,
+	}
+	if variantName != "" {
+		v, err := diffcheck.VariantByName(variantName)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Variant = &v
+	}
+	sum, err := diffcheck.Fuzz(opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bjfuzz: %d programs, %d variant runs, %d shuffle calls (%d DTQ entries) validated\n",
+		sum.Programs, sum.Runs, sum.Shuffles, sum.Entries)
+	if !sum.Failed() {
+		fmt.Println("bjfuzz: zero oracle divergences, zero invariant violations")
+		return
+	}
+	for _, f := range sum.Failures {
+		fmt.Printf("\nFAILURE program %d (%s, seed %#x, %d instructions):\n", f.Index, f.Source, f.Seed, len(f.Program.Code))
+		for _, d := range f.Divergences {
+			fmt.Printf("  %v\n", d)
+		}
+		if f.Minimized != nil {
+			fmt.Printf("  minimized to %d instructions\n", len(f.Minimized.Code))
+		}
+		if f.Encoded != nil && reproDir != "" {
+			if err := os.MkdirAll(reproDir, 0o755); err != nil {
+				fatal(err)
+			}
+			path := filepath.Join(reproDir, fmt.Sprintf("fail-%#x", f.Seed))
+			if err := diffcheck.WriteCorpusFile(path, f.Encoded); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("  reproducer written to %s\n", path)
+		}
+	}
+	os.Exit(1)
+}
+
+func runMatrix(modeName string, maxInstr int, seed uint64, par int) {
+	mode, err := blackjack.ParseMode(modeName)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := diffcheck.CoverageMatrix(diffcheck.MatrixOptions{
+		Mode:     mode,
+		MaxInstr: maxInstr,
+		Seed:     seed,
+		Workers:  par,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(m)
+	if !m.OK() {
+		for _, p := range m.Problems() {
+			fmt.Printf("PROBLEM: %s\n", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("coverage matrix: every fault class x structure exercised; no silent corruption")
+}
+
+func runReplay(dir string, maxInstr int) {
+	seeds, err := diffcheck.ReadCorpusDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := pipeline.DefaultConfig()
+	bad := 0
+	for name, data := range seeds {
+		p := diffcheck.DecodeProgram(data)
+		rep := diffcheck.CheckProgram(cfg, p, maxInstr)
+		for _, d := range rep.Divergences {
+			fmt.Printf("%s: %v\n", name, d)
+			bad++
+		}
+	}
+	fmt.Printf("bjfuzz: replayed %d corpus seeds, %d divergences\n", len(seeds), bad)
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func runEmit(n int, seed uint64, dir string) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	written := 0
+	for i := 0; written < n; i++ {
+		p, source, err := diffcheck.GenerateProgram(seed, i)
+		if err != nil {
+			fatal(err)
+		}
+		enc, err := diffcheck.EncodeProgram(p)
+		if err != nil || len(enc) > 16<<10 {
+			continue // skip unencodable or oversized programs; seeds should stay mutation-friendly
+		}
+		path := filepath.Join(dir, fmt.Sprintf("seed-%02d-%s", i, source))
+		if err := diffcheck.WriteCorpusFile(path, enc); err != nil {
+			fatal(err)
+		}
+		written++
+	}
+	fmt.Printf("bjfuzz: wrote %d corpus seeds to %s\n", written, dir)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bjfuzz:", err)
+	os.Exit(1)
+}

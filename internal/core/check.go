@@ -83,6 +83,14 @@ func (c *OrderChecker) Seed(logical isa.Reg, trailP rename.PhysReg) {
 // Stats returns the number of dependence and PC checks performed.
 func (c *OrderChecker) Stats() (dep, pc uint64) { return c.depChecks, c.pcChecks }
 
+// Mapping returns the current program-order mapping of a logical register —
+// after the trailing thread has fully committed, this is its committed
+// architectural state (verification harnesses compare it against the golden
+// model).
+func (c *OrderChecker) Mapping(logical isa.Reg) rename.PhysReg {
+	return c.second.Get(int(logical))
+}
+
 // CommitInfo describes one trailing instruction at commit.
 type CommitInfo struct {
 	PC      int

@@ -108,3 +108,81 @@ func TestDTQPacketBoundaryRespectedAfterSquash(t *testing.T) {
 	}
 	_ = isa.Inst{}
 }
+
+// Cycling many packets through a small DTQ exercises the ring's wraparound
+// paths: allocate/pop repeatedly past the capacity boundary and verify packet
+// grouping, index bookkeeping, and Free accounting all stay consistent.
+func TestDTQWraparound(t *testing.T) {
+	const cap = 5 // deliberately not a multiple of the packet size
+	q := NewDTQ(cap)
+	seq := uint64(0)
+	for pkt := uint64(0); pkt < 20; pkt++ {
+		n := int(pkt%3) + 1 // packet sizes 1..3 so boundaries drift across the ring
+		for i := 0; i < n; i++ {
+			if !q.Allocate(&Entry{Seq: seq, PacketID: pkt, Class: isa.UnitIntALU}) {
+				t.Fatalf("packet %d: Allocate(%d) failed with Free=%d", pkt, seq, q.Free())
+			}
+			seq++
+		}
+		if got := q.Free(); got != cap-n {
+			t.Fatalf("packet %d: Free = %d, want %d", pkt, got, cap-n)
+		}
+		if q.HeadPacket() != nil {
+			t.Fatalf("packet %d: HeadPacket non-nil before commit", pkt)
+		}
+		for i := 0; i < n; i++ {
+			if !q.MarkCommitted(seq-uint64(n)+uint64(i), seq, 0, 0, 0, false) {
+				t.Fatalf("packet %d: MarkCommitted(%d) failed", pkt, seq-uint64(n)+uint64(i))
+			}
+		}
+		head := q.HeadPacket()
+		if len(head) != n {
+			t.Fatalf("packet %d: HeadPacket len = %d, want %d", pkt, len(head), n)
+		}
+		for i, e := range head {
+			if e.PacketID != pkt || e.Seq != seq-uint64(n)+uint64(i) {
+				t.Fatalf("packet %d slot %d: got seq %d packet %d", pkt, i, e.Seq, e.PacketID)
+			}
+		}
+		q.PopPacket(n)
+		if q.Len() != 0 || q.Free() != cap {
+			t.Fatalf("packet %d: Len=%d Free=%d after pop, want 0/%d", pkt, q.Len(), q.Free(), cap)
+		}
+	}
+	if len(q.index) != 0 {
+		t.Errorf("index retains %d entries after full drain", len(q.index))
+	}
+}
+
+// Squashing across the wrap boundary must drop exactly the younger entries
+// and leave the surviving prefix intact and shuffle-ready.
+func TestDTQSquashAcrossWraparound(t *testing.T) {
+	q := NewDTQ(4)
+	// Fill and drain once so the ring's head is mid-array.
+	for s := uint64(0); s < 3; s++ {
+		q.Allocate(&Entry{Seq: s, PacketID: 0})
+	}
+	for s := uint64(0); s < 3; s++ {
+		q.MarkCommitted(s, s, 0, 0, 0, false)
+	}
+	q.PopPacket(3)
+	// Now allocate a run that physically wraps.
+	for s := uint64(10); s < 14; s++ {
+		q.Allocate(&Entry{Seq: s, PacketID: uint64(s)}) // one packet per entry
+	}
+	if n := q.SquashYounger(11); n != 2 {
+		t.Fatalf("SquashYounger dropped %d, want 2", n)
+	}
+	if q.Len() != 2 || q.Free() != 2 {
+		t.Fatalf("Len=%d Free=%d after squash, want 2/2", q.Len(), q.Free())
+	}
+	q.MarkCommitted(10, 0, 0, 0, 0, false)
+	head := q.HeadPacket()
+	if len(head) != 1 || head[0].Seq != 10 {
+		t.Fatalf("HeadPacket = %v, want surviving seq 10", head)
+	}
+	// Squashed seqs must be gone from the index: re-marking them fails.
+	if q.MarkCommitted(12, 0, 0, 0, 0, false) {
+		t.Error("MarkCommitted succeeded for squashed seq 12")
+	}
+}

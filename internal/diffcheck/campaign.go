@@ -1,0 +1,194 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/parallel"
+	"blackjack/internal/pipeline"
+	"blackjack/internal/prog"
+)
+
+// FuzzOptions configures a differential fuzzing campaign.
+type FuzzOptions struct {
+	// Machine is the core configuration (zero value selects Table 1).
+	Machine pipeline.Config
+	// Programs is the number of random programs to check (default 100).
+	Programs int
+	// Seed makes the whole campaign deterministic; per-program seeds derive
+	// from it via splitmix, so campaigns with different Programs counts agree
+	// on their common prefix.
+	Seed uint64
+	// MaxInstr is the leading-thread committed-instruction budget per run
+	// (default 5000).
+	MaxInstr int
+	// Workers bounds the fan-out (<= 0 selects runtime.NumCPU()); results are
+	// deterministic at every worker count.
+	Workers int
+	// Variant, when non-nil, restricts checking to one machine variant
+	// instead of all five.
+	Variant *Variant
+	// Shrink minimizes failing programs via delta debugging (on by default
+	// in the CLI; costs extra runs per failure).
+	Shrink bool
+	// ShrinkTests bounds candidate evaluations per minimization (<= 0
+	// selects the Minimize default).
+	ShrinkTests int
+}
+
+func (o *FuzzOptions) withDefaults() FuzzOptions {
+	out := *o
+	if out.Machine.FetchWidth == 0 {
+		out.Machine = pipeline.DefaultConfig()
+	}
+	if out.Programs <= 0 {
+		out.Programs = 100
+	}
+	if out.MaxInstr <= 0 {
+		out.MaxInstr = 5000
+	}
+	return out
+}
+
+// Failure is one program that diverged, with its minimized reproducer.
+type Failure struct {
+	Index       int
+	Seed        uint64
+	Source      string
+	Program     *isa.Program
+	Divergences []Divergence
+	// Minimized is the delta-debugged reproducer (nil when shrinking was
+	// off); Encoded is its corpus wire form (nil when the program exceeds
+	// the encodable size).
+	Minimized *isa.Program
+	Encoded   []byte
+}
+
+// FuzzSummary aggregates a campaign.
+type FuzzSummary struct {
+	Programs int
+	Runs     int    // variant runs performed
+	Shuffles uint64 // shuffle invocations validated
+	Entries  uint64 // DTQ entries through the invariant checker
+	Failures []Failure
+}
+
+// Failed reports whether any program diverged.
+func (s *FuzzSummary) Failed() bool { return len(s.Failures) > 0 }
+
+// GenerateProgram builds the i-th campaign program from the campaign seed.
+// The mix alternates adversarial instruction-level programs (two thirds)
+// with profile-generator workloads under randomized knobs (one third), so
+// the harness probes both hostile shapes and realistic steady-state code.
+func GenerateProgram(campaignSeed uint64, i int) (*isa.Program, string, error) {
+	seed := prog.DeriveSeed(campaignSeed, uint64(i))
+	if i%3 == 2 {
+		profile := prog.RandomProfile(fmt.Sprintf("rand-%d", i), seed)
+		p, err := prog.Generate(profile)
+		return p, "profile", err
+	}
+	p, err := prog.AdversarialProgram(seed)
+	return p, "adversarial", err
+}
+
+// PadNops returns p with k NOPs prepended (branch targets shifted), a
+// metamorphic transform that must not change the program's final state: the
+// pipeline run of the padded program is cross-checked against the oracle
+// like any other, but with every packet boundary shifted by k lanes.
+func PadNops(p *isa.Program, k int) *isa.Program {
+	q := *p
+	q.Name = p.Name + "+nops"
+	q.Code = make([]isa.Inst, 0, len(p.Code)+k)
+	for i := 0; i < k; i++ {
+		q.Code = append(q.Code, isa.Inst{Op: isa.OpNop})
+	}
+	for _, in := range p.Code {
+		if in.IsBranch() {
+			in.Imm += int64(k)
+		}
+		q.Code = append(q.Code, in)
+	}
+	return &q
+}
+
+// Fuzz runs the campaign: generate programs, check every one under every
+// variant (or the selected one) against the oracle and the structural
+// invariants, run the NOP-padding metamorphic variant on a quarter of the
+// programs, and minimize any failures.
+func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
+	o := opts.withDefaults()
+
+	type outcome struct {
+		seed     uint64
+		source   string
+		program  *isa.Program
+		runs     int
+		shuffles uint64
+		entries  uint64
+		divs     []Divergence
+	}
+
+	results, err := parallel.Map(o.Workers, o.Programs, func(i int) (*outcome, error) {
+		p, source, err := GenerateProgram(o.Seed, i)
+		if err != nil {
+			return nil, fmt.Errorf("diffcheck: program %d: %w", i, err)
+		}
+		out := &outcome{seed: prog.DeriveSeed(o.Seed, uint64(i)), source: source, program: p}
+		var rep *ProgramReport
+		if o.Variant != nil {
+			rep = CheckVariantProgram(o.Machine, *o.Variant, p, o.MaxInstr)
+		} else {
+			rep = CheckProgram(o.Machine, p, o.MaxInstr)
+		}
+		out.divs = rep.Divergences
+		for _, vr := range rep.Variants {
+			out.runs++
+			out.shuffles += vr.Shuffles
+			out.entries += vr.ShuffleEntries
+		}
+		// Metamorphic NOP padding on every fourth program, checked under
+		// full BlackJack (the configuration most sensitive to packet shape).
+		if i%4 == 0 && o.Variant == nil {
+			padded := PadNops(p, 1+i%3)
+			vr := RunVariant(o.Machine, Variant{Name: "blackjack+nops", Mode: pipeline.ModeBlackJack}, padded, o.MaxInstr)
+			out.runs++
+			out.shuffles += vr.Shuffles
+			out.divs = append(out.divs, vr.Divergences...)
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sum := &FuzzSummary{Programs: o.Programs}
+	for i, out := range results {
+		sum.Runs += out.runs
+		sum.Shuffles += out.shuffles
+		sum.Entries += out.entries
+		if len(out.divs) == 0 {
+			continue
+		}
+		f := Failure{
+			Index:       i,
+			Seed:        out.seed,
+			Source:      out.source,
+			Program:     out.program,
+			Divergences: out.divs,
+		}
+		if o.Shrink {
+			fails := func(cand *isa.Program) bool {
+				if o.Variant != nil {
+					return CheckVariantProgram(o.Machine, *o.Variant, cand, o.MaxInstr).Failed()
+				}
+				return CheckProgram(o.Machine, cand, o.MaxInstr).Failed()
+			}
+			f.Minimized = Minimize(out.program, fails, o.ShrinkTests)
+			if enc, err := EncodeProgram(f.Minimized); err == nil {
+				f.Encoded = enc
+			}
+		}
+		sum.Failures = append(sum.Failures, f)
+	}
+	return sum, nil
+}

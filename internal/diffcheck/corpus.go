@@ -1,0 +1,77 @@
+package diffcheck
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Corpus files use Go's native fuzzing encoding, so the same seeds feed
+// three consumers: the plain-`go test` regression replay, the native
+// `go test -fuzz` targets (f.Add), and the bjfuzz CLI's -replay flag.
+//
+//	go test fuzz v1
+//	[]byte("...")
+
+const corpusHeader = "go test fuzz v1"
+
+// WriteCorpusFile writes one encoded program as a native Go fuzz corpus
+// file.
+func WriteCorpusFile(path string, data []byte) error {
+	content := fmt.Sprintf("%s\n[]byte(%s)\n", corpusHeader, strconv.Quote(string(data)))
+	return os.WriteFile(path, []byte(content), 0o644)
+}
+
+// ReadCorpusFile parses a native Go fuzz corpus file holding one []byte
+// value.
+func ReadCorpusFile(path string) ([]byte, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+	if len(lines) < 2 || strings.TrimSpace(lines[0]) != corpusHeader {
+		return nil, fmt.Errorf("diffcheck: %s: not a go fuzz corpus file", path)
+	}
+	v := strings.TrimSpace(lines[1])
+	const prefix, suffix = "[]byte(", ")"
+	if !strings.HasPrefix(v, prefix) || !strings.HasSuffix(v, suffix) {
+		return nil, fmt.Errorf("diffcheck: %s: unsupported corpus value %q", path, v)
+	}
+	s, err := strconv.Unquote(v[len(prefix) : len(v)-len(suffix)])
+	if err != nil {
+		return nil, fmt.Errorf("diffcheck: %s: %w", path, err)
+	}
+	return []byte(s), nil
+}
+
+// ReadCorpusDir loads every corpus file in a directory, sorted by name for
+// deterministic replay order. A missing directory is an empty corpus.
+func ReadCorpusDir(dir string) (map[string][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	out := make(map[string][]byte, len(names))
+	for _, name := range names {
+		data, err := ReadCorpusFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		out[name] = data
+	}
+	return out, nil
+}

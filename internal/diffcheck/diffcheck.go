@@ -1,0 +1,258 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/pipeline"
+)
+
+// Variant is one machine configuration the harness cross-checks: a
+// redundancy mode plus the merging-shuffle extension toggle.
+type Variant struct {
+	Name  string
+	Mode  pipeline.Mode
+	Merge bool
+}
+
+// Variants returns the configurations every program is checked under: the
+// paper's four machines plus full BlackJack with the merging-shuffle
+// extension enabled.
+func Variants() []Variant {
+	return []Variant{
+		{Name: "single", Mode: pipeline.ModeSingle},
+		{Name: "srt", Mode: pipeline.ModeSRT},
+		{Name: "blackjack-ns", Mode: pipeline.ModeBlackJackNS},
+		{Name: "blackjack", Mode: pipeline.ModeBlackJack},
+		{Name: "blackjack+merge", Mode: pipeline.ModeBlackJack, Merge: true},
+	}
+}
+
+// VariantByName resolves a variant name, e.g. for the bjfuzz -variant flag.
+func VariantByName(name string) (Variant, error) {
+	for _, v := range Variants() {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return Variant{}, fmt.Errorf("diffcheck: unknown variant %q", name)
+}
+
+// Divergence is one disagreement between the pipeline and the golden model
+// (or a violated structural invariant).
+type Divergence struct {
+	Variant string
+	Kind    string // register, memory, store-signature, store-count, retired, trailing-commit, false-detection, diversity, invariant, deadlock, panic, run-error
+	Detail  string
+}
+
+// String formats the divergence.
+func (d Divergence) String() string {
+	return fmt.Sprintf("[%s] %s: %s", d.Variant, d.Kind, d.Detail)
+}
+
+// maxDivergences caps reporting per variant run; a genuinely broken machine
+// diverges everywhere and the first few records carry all the signal.
+const maxDivergences = 40
+
+// VariantReport is one variant run's outcome.
+type VariantReport struct {
+	Variant        Variant
+	Stats          *pipeline.Stats
+	Shuffles       uint64 // shuffle invocations observed (DTQ modes)
+	ShuffleEntries uint64 // DTQ entries validated through those invocations
+	Divergences    []Divergence
+	dropped        int
+}
+
+// Failed reports whether the run diverged from the oracle or violated an
+// invariant.
+func (r *VariantReport) Failed() bool { return len(r.Divergences) > 0 }
+
+func (r *VariantReport) divergef(kind, format string, args ...any) {
+	if len(r.Divergences) >= maxDivergences {
+		r.dropped++
+		return
+	}
+	r.Divergences = append(r.Divergences, Divergence{
+		Variant: r.Variant.Name,
+		Kind:    kind,
+		Detail:  fmt.Sprintf(format, args...),
+	})
+}
+
+// RunVariant executes p on one machine variant for the given leading-thread
+// instruction budget and cross-checks the complete committed architectural
+// state — every register in both contexts, the whole memory image, the
+// released store stream and the retired count — against the golden model,
+// alongside the structural invariants observed during execution. Pipeline
+// panics are caught and reported as divergences (the harness must survive
+// latent simulator bugs to report them).
+func RunVariant(cfg pipeline.Config, v Variant, p *isa.Program, maxInstr int) (rep *VariantReport) {
+	rep = &VariantReport{Variant: v}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.divergef("panic", "%v", r)
+		}
+	}()
+
+	cfg.MergePackets = v.Merge
+	var ic *InvariantChecker
+	var opts []pipeline.Option
+	if v.Mode.UsesDTQ() {
+		ic = NewInvariantChecker(cfg, v.Mode)
+		opts = append(opts, pipeline.WithShuffleObserver(ic.Observe))
+	}
+	m, err := pipeline.New(cfg, v.Mode, p, opts...)
+	if err != nil {
+		rep.divergef("run-error", "machine construction: %v", err)
+		return rep
+	}
+	st := m.Run(maxInstr)
+	rep.Stats = st
+	if ic != nil {
+		rep.Shuffles = ic.Calls()
+		rep.ShuffleEntries = ic.Entries()
+		for _, e := range ic.Errors() {
+			rep.divergef("invariant", "%s", e)
+		}
+		if n := ic.Dropped(); n > 0 {
+			rep.divergef("invariant", "%d further violations dropped", n)
+		}
+	}
+	if st.Deadlocked {
+		rep.divergef("deadlock", "wedged at cycle %d (committed lead=%d trail=%d)",
+			st.Cycles, st.Committed[0], st.Committed[1])
+		return rep
+	}
+	if st.Detections > 0 {
+		rep.divergef("false-detection", "fault-free run reported %d detections; first: %v",
+			st.Detections, st.FirstEvent)
+	}
+
+	// Golden model over the exact committed prefix.
+	g, err := isa.NewMachine(p)
+	if err != nil {
+		rep.divergef("run-error", "golden model: %v", err)
+		return rep
+	}
+	g.Run(int(st.Committed[0]))
+	if got, want := st.Committed[0], uint64(g.Retired()); got != want {
+		rep.divergef("retired", "pipeline committed %d, oracle retired %d", got, want)
+	}
+	if st.StoreSignature != g.StoreSignature() {
+		rep.divergef("store-signature", "pipeline %#x, oracle %#x", st.StoreSignature, g.StoreSignature())
+	}
+	if st.ReleasedStores != uint64(g.Stores()) {
+		rep.divergef("store-count", "pipeline released %d stores, oracle %d", st.ReleasedStores, g.Stores())
+	}
+	if v.Mode.Redundant() && st.Committed[1] != st.Committed[0] {
+		rep.divergef("trailing-commit", "trailing committed %d, leading %d", st.Committed[1], st.Committed[0])
+	}
+
+	// Committed register state, in every context the variant runs. A
+	// ModeSingle run stopped at the budget still has speculative wrong-path
+	// renames in flight; squash them so the rename map shows committed state
+	// (redundant modes already squashed the leading thread at the cap).
+	if v.Mode == pipeline.ModeSingle {
+		m.SquashSpeculative(0)
+	}
+	for r := isa.Reg(0); r < isa.NumArchRegs; r++ {
+		want := g.Reg(r)
+		if got := m.ArchReg(0, r); got != want {
+			rep.divergef("register", "lead %s = %#x, oracle %#x", r, got, want)
+		}
+		switch {
+		case v.Mode == pipeline.ModeSRT:
+			if got := m.ArchReg(1, r); got != want {
+				rep.divergef("register", "trail %s = %#x, oracle %#x", r, got, want)
+			}
+		case v.Mode.UsesDTQ():
+			if got := m.TrailingArchReg(r); got != want {
+				rep.divergef("register", "trail %s = %#x, oracle %#x", r, got, want)
+			}
+		}
+	}
+
+	// Whole memory image.
+	for a := 0; a < m.MemSize(); a += 8 {
+		if got, want := m.MemWord(uint64(a)), g.ReadMem(uint64(a)); got != want {
+			rep.divergef("memory", "mem[%#x] = %#x, oracle %#x", a, got, want)
+		}
+	}
+
+	// Mode-level structural facts. Full BlackJack guarantees frontend
+	// diversity for every pair (safe-shuffle never places an instruction on
+	// its leading frontend way); backend diversity is best-effort (issue-time
+	// interference), so it is not an invariant. Every committed leading
+	// instruction passes through shuffle exactly once.
+	if v.Mode == pipeline.ModeBlackJack && st.Pairs > 0 && st.FeDiversePairs != st.Pairs {
+		rep.divergef("diversity", "frontend diversity %d/%d pairs in full BlackJack", st.FeDiversePairs, st.Pairs)
+	}
+	if ic != nil && ic.Entries() != st.Committed[0] {
+		rep.divergef("invariant", "%d entries shuffled, %d leading instructions committed", ic.Entries(), st.Committed[0])
+	}
+	return rep
+}
+
+// ProgramReport aggregates one program's differential check across all
+// variants, including the cross-variant metamorphic comparison.
+type ProgramReport struct {
+	Program     *isa.Program
+	Variants    []*VariantReport
+	Divergences []Divergence
+}
+
+// Failed reports whether any variant diverged.
+func (r *ProgramReport) Failed() bool { return len(r.Divergences) > 0 }
+
+// CheckProgram runs p under every variant and cross-checks the results: each
+// variant against the golden model, and — the metamorphic property — all
+// variants against each other, since the redundancy configuration must never
+// change architectural behaviour (same committed count, same store stream).
+func CheckProgram(cfg pipeline.Config, p *isa.Program, maxInstr int) *ProgramReport {
+	rep := &ProgramReport{Program: p}
+	for _, v := range Variants() {
+		vr := RunVariant(cfg, v, p, maxInstr)
+		rep.Variants = append(rep.Variants, vr)
+		rep.Divergences = append(rep.Divergences, vr.Divergences...)
+	}
+	// Cross-variant comparison is only sound for programs that halt inside
+	// the budget: a cap-stopped run can overshoot the cap by up to
+	// CommitWidth-1 instructions, and different modes overshoot differently.
+	// (The per-variant oracle check above is exact either way: the oracle
+	// replays precisely the committed count.)
+	var base *VariantReport
+	for _, vr := range rep.Variants {
+		if vr.Stats == nil || vr.Stats.Deadlocked || vr.Stats.Committed[0] >= uint64(maxInstr) {
+			continue
+		}
+		if base == nil {
+			base = vr
+			continue
+		}
+		if vr.Stats.Committed[0] != base.Stats.Committed[0] {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Variant: vr.Variant.Name, Kind: "cross-mode",
+				Detail: fmt.Sprintf("committed %d, %s committed %d",
+					vr.Stats.Committed[0], base.Variant.Name, base.Stats.Committed[0]),
+			})
+		}
+		if vr.Stats.StoreSignature != base.Stats.StoreSignature {
+			rep.Divergences = append(rep.Divergences, Divergence{
+				Variant: vr.Variant.Name, Kind: "cross-mode",
+				Detail: fmt.Sprintf("store signature %#x, %s has %#x",
+					vr.Stats.StoreSignature, base.Variant.Name, base.Stats.StoreSignature),
+			})
+		}
+	}
+	return rep
+}
+
+// CheckVariantProgram is CheckProgram restricted to one variant (plus the
+// oracle); the bjfuzz -variant flag and the shuffle-invariant fuzz target use
+// it to spend the whole budget on one configuration.
+func CheckVariantProgram(cfg pipeline.Config, v Variant, p *isa.Program, maxInstr int) *ProgramReport {
+	vr := RunVariant(cfg, v, p, maxInstr)
+	return &ProgramReport{Program: p, Variants: []*VariantReport{vr}, Divergences: vr.Divergences}
+}

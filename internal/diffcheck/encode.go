@@ -1,0 +1,119 @@
+package diffcheck
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"blackjack/internal/isa"
+)
+
+// Fuzz-input wire format. The decoder is a total function — every byte
+// string maps to a structurally valid program — so native go-fuzz mutation
+// always lands on runnable inputs, and the encoder inverts it exactly for
+// the canonical programs the generators emit, so shrunken failures round-trip
+// into corpus seeds.
+//
+//	byte  0     data-segment selector: DataSize = 1024 << (b % 12)  (1KB..2MB)
+//	bytes 1..2  init-word count, uint16 little-endian (clamped to fit)
+//	            then count * 8 bytes of init words, little-endian
+//	records     12 bytes per instruction: op, rd, rs1, rs2, imm (int64 LE)
+//	            op is taken mod NumOps, registers mod NumArchRegs, and branch
+//	            or jump targets mod the final code length
+//
+// A trailing OpHalt is always appended by the decoder (running off the end
+// of the code is not an architectural stop), and stripped again by the
+// encoder. Trailing partial records are ignored.
+
+const (
+	instRecordSize = 12
+	// maxDecodeInsts bounds a decoded program so a fuzzer-built input cannot
+	// demand an unbounded simulation.
+	maxDecodeInsts = 2048
+	maxDataSel     = 12 // DataSize in [1KB, 2MB]
+)
+
+// DecodeProgram maps an arbitrary byte string to a valid program.
+func DecodeProgram(data []byte) *isa.Program {
+	p := &isa.Program{Name: "fuzz", DataSize: 1024}
+	if len(data) > 0 {
+		p.DataSize = 1024 << (int(data[0]) % maxDataSel)
+		data = data[1:]
+	}
+	if len(data) >= 2 {
+		n := int(binary.LittleEndian.Uint16(data))
+		data = data[2:]
+		if maxWords := p.DataSize / 8; n > maxWords {
+			n = maxWords
+		}
+		if avail := len(data) / 8; n > avail {
+			n = avail
+		}
+		p.Init = make([]uint64, n)
+		for i := range p.Init {
+			p.Init[i] = binary.LittleEndian.Uint64(data[8*i:])
+		}
+		data = data[8*n:]
+	}
+
+	nInst := len(data) / instRecordSize
+	if nInst > maxDecodeInsts {
+		nInst = maxDecodeInsts
+	}
+	p.Code = make([]isa.Inst, 0, nInst+1)
+	for i := 0; i < nInst; i++ {
+		rec := data[i*instRecordSize:]
+		in := isa.Inst{
+			Op:  isa.Op(int(rec[0]) % int(isa.NumOps)),
+			Rd:  isa.Reg(rec[1]) % isa.NumArchRegs,
+			Rs1: isa.Reg(rec[2]) % isa.NumArchRegs,
+			Rs2: isa.Reg(rec[3]) % isa.NumArchRegs,
+			Imm: int64(binary.LittleEndian.Uint64(rec[4:12])),
+		}
+		p.Code = append(p.Code, in)
+	}
+	p.Code = append(p.Code, isa.Inst{Op: isa.OpHalt})
+
+	// Branch and jump targets land inside the final code image.
+	codeLen := uint64(len(p.Code))
+	for i := range p.Code {
+		if p.Code[i].IsBranch() {
+			p.Code[i].Imm = int64(uint64(p.Code[i].Imm) % codeLen)
+		}
+	}
+	return p
+}
+
+// EncodeProgram inverts DecodeProgram for canonical programs (power-of-two
+// data segments between 1KB and 2MB, a single trailing OpHalt, in-range
+// branch targets — everything the generators produce). Non-canonical inputs
+// are encoded best-effort: the decoded result is always valid but may differ
+// (e.g. a rounded-up data segment).
+func EncodeProgram(p *isa.Program) ([]byte, error) {
+	sel := 0
+	for sel < maxDataSel-1 && 1024<<sel < p.DataSize {
+		sel++
+	}
+	code := p.Code
+	if n := len(code); n > 0 && code[n-1].Op == isa.OpHalt {
+		code = code[:n-1]
+	}
+	if len(code) > maxDecodeInsts {
+		return nil, fmt.Errorf("diffcheck: program %q has %d instructions (max %d)", p.Name, len(code), maxDecodeInsts)
+	}
+	nInit := len(p.Init)
+	if nInit > 0xFFFF {
+		return nil, fmt.Errorf("diffcheck: program %q has %d init words (max %d)", p.Name, nInit, 0xFFFF)
+	}
+
+	out := make([]byte, 0, 3+8*nInit+instRecordSize*len(code))
+	out = append(out, byte(sel))
+	out = binary.LittleEndian.AppendUint16(out, uint16(nInit))
+	for _, w := range p.Init {
+		out = binary.LittleEndian.AppendUint64(out, w)
+	}
+	for _, in := range code {
+		out = append(out, byte(in.Op), byte(in.Rd), byte(in.Rs1), byte(in.Rs2))
+		out = binary.LittleEndian.AppendUint64(out, uint64(in.Imm))
+	}
+	return out, nil
+}

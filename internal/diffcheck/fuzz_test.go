@@ -1,0 +1,102 @@
+package diffcheck
+
+import (
+	"sort"
+	"testing"
+
+	"blackjack/internal/pipeline"
+)
+
+// corpusDir holds the committed seed corpus: minimized failure reproducers
+// and generator-produced seeds in Go's native fuzz encoding. It feeds both
+// fuzz targets and the plain-`go test` regression replay below.
+const corpusDir = "testdata/corpus"
+
+// fuzzBudget keeps per-input simulation cost bounded so the native fuzzing
+// engine gets a healthy exec rate.
+const fuzzBudget = 1200
+
+func addSeeds(f *testing.F) {
+	f.Helper()
+	for i := 0; i < 6; i++ {
+		p, _, err := GenerateProgram(42, i)
+		if err != nil {
+			f.Fatal(err)
+		}
+		if enc, err := EncodeProgram(p); err == nil {
+			f.Add(enc)
+		}
+	}
+	seeds, err := ReadCorpusDir(corpusDir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f.Add(seeds[name])
+	}
+}
+
+// FuzzPipelineVsOracle decodes arbitrary bytes into a valid program and
+// differentially checks the pipeline against the golden model in every
+// machine variant.
+func FuzzPipelineVsOracle(f *testing.F) {
+	addSeeds(f)
+	cfg := pipeline.DefaultConfig()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := DecodeProgram(data)
+		rep := CheckProgram(cfg, p, fuzzBudget)
+		for _, d := range rep.Divergences {
+			t.Errorf("%v", d)
+		}
+	})
+}
+
+// FuzzShuffleInvariants spends the whole budget on the two shuffling
+// variants, maximizing safe-shuffle invariant checking throughput.
+func FuzzShuffleInvariants(f *testing.F) {
+	addSeeds(f)
+	cfg := pipeline.DefaultConfig()
+	variants := []Variant{
+		{Name: "blackjack", Mode: pipeline.ModeBlackJack},
+		{Name: "blackjack+merge", Mode: pipeline.ModeBlackJack, Merge: true},
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := DecodeProgram(data)
+		for _, v := range variants {
+			for _, d := range RunVariant(cfg, v, p, fuzzBudget).Divergences {
+				t.Errorf("%v", d)
+			}
+		}
+	})
+}
+
+// TestCorpusSeeds replays the committed seed corpus in plain `go test` (no
+// -fuzz flag needed), so every past minimized failure stays a regression
+// test.
+func TestCorpusSeeds(t *testing.T) {
+	seeds, err := ReadCorpusDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty seed corpus: expected committed seeds in testdata/corpus")
+	}
+	cfg := pipeline.DefaultConfig()
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		p := DecodeProgram(seeds[name])
+		rep := CheckProgram(cfg, p, 2000)
+		for _, d := range rep.Divergences {
+			t.Errorf("%s: %v", name, d)
+		}
+	}
+}

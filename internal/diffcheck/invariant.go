@@ -1,0 +1,243 @@
+// Package diffcheck is the differential verification harness: it runs
+// randomized programs through the cycle-level pipeline in every redundancy
+// configuration, cross-checks the committed architectural state against the
+// functional golden model (internal/isa), enforces structural invariants of
+// the BlackJack mechanisms during execution, measures the fault-injection
+// coverage matrix, and minimizes failing programs into replayable seeds.
+//
+// The harness exists because the pipeline's ordinary tests check aggregate
+// outputs (store signatures, statistics) on well-behaved workloads; the
+// mechanisms the paper introduces — safe-shuffle, double rename, commit-time
+// dependence and PC checks — have sharp structural contracts that random
+// adversarial programs are much better at probing.
+package diffcheck
+
+import (
+	"fmt"
+
+	"blackjack/internal/core"
+	"blackjack/internal/isa"
+	"blackjack/internal/pipeline"
+)
+
+// InvariantChecker validates every safe-shuffle invocation of a run, via
+// pipeline.WithShuffleObserver. Per-call structural checks live in
+// CheckShuffle; the checker adds the cross-call state: packet IDs must be
+// monotonic, the DTQ must drain packets in issue order, and no committed
+// instruction may pass through shuffle twice.
+type InvariantChecker struct {
+	width     int
+	units     [isa.NumUnitClasses]int
+	shuffleOn bool
+	merge     bool
+
+	calls        uint64
+	haveOut      bool
+	lastOutID    uint64
+	haveIn       bool
+	lastInID     uint64
+	seenSeqs     map[uint64]struct{}
+	errs         []string
+	maxRecorded  int
+	droppedErrs  int
+	totalEntries uint64
+}
+
+// NewInvariantChecker builds a checker for a machine with the given
+// configuration and mode. Only DTQ-bearing modes shuffle; shuffleOn selects
+// the full safe-shuffle contract (ModeBlackJack) versus the pass-through
+// contract (ModeBlackJackNS).
+func NewInvariantChecker(cfg pipeline.Config, mode pipeline.Mode) *InvariantChecker {
+	return &InvariantChecker{
+		width:       cfg.FetchWidth,
+		units:       cfg.Units,
+		shuffleOn:   mode == pipeline.ModeBlackJack,
+		merge:       cfg.MergePackets,
+		seenSeqs:    make(map[uint64]struct{}),
+		maxRecorded: 32,
+	}
+}
+
+// Observe implements pipeline.ShuffleObserver.
+func (c *InvariantChecker) Observe(cycle int64, in []*core.Entry, out []core.Packet) {
+	c.calls++
+	c.totalEntries += uint64(len(in))
+
+	for _, msg := range CheckShuffle(c.width, c.units, c.shuffleOn, c.merge, in, out) {
+		c.reportf("cycle %d: %s", cycle, msg)
+	}
+
+	// DTQ drain order: packets leave in issue order, so the input packet IDs
+	// of successive shuffle calls strictly increase (a packet is consumed
+	// whole; under merging two adjacent packets go at once).
+	if len(in) > 0 {
+		first, last := in[0].PacketID, in[len(in)-1].PacketID
+		if c.haveIn && first <= c.lastInID {
+			c.reportf("cycle %d: DTQ drain out of order: input packet %d after packet %d", cycle, first, c.lastInID)
+		}
+		c.lastInID = last
+		c.haveIn = true
+	}
+
+	// Output packet IDs are globally monotonic: the trailing thread fetches
+	// them in order and the IDs seed its program-order reconstruction.
+	for _, p := range out {
+		if c.haveOut && p.ID <= c.lastOutID {
+			c.reportf("cycle %d: output packet ID %d not above previous %d", cycle, p.ID, c.lastOutID)
+		}
+		c.lastOutID = p.ID
+		c.haveOut = true
+	}
+
+	// Each committed leading instruction shuffles exactly once. (Seqs are not
+	// ordered across packets — packets are issue-ordered, seqs program-
+	// ordered — but they are unique.)
+	for _, e := range in {
+		if _, dup := c.seenSeqs[e.Seq]; dup {
+			c.reportf("cycle %d: seq %d shuffled twice", cycle, e.Seq)
+		}
+		c.seenSeqs[e.Seq] = struct{}{}
+	}
+}
+
+func (c *InvariantChecker) reportf(format string, args ...any) {
+	if len(c.errs) >= c.maxRecorded {
+		c.droppedErrs++
+		return
+	}
+	c.errs = append(c.errs, fmt.Sprintf(format, args...))
+}
+
+// Errors returns the recorded invariant violations (capped; Dropped counts
+// the overflow).
+func (c *InvariantChecker) Errors() []string { return c.errs }
+
+// Dropped returns how many violations were not recorded due to the cap.
+func (c *InvariantChecker) Dropped() int { return c.droppedErrs }
+
+// Calls returns how many shuffle invocations were observed.
+func (c *InvariantChecker) Calls() uint64 { return c.calls }
+
+// Entries returns how many DTQ entries passed through shuffle.
+func (c *InvariantChecker) Entries() uint64 { return c.totalEntries }
+
+// CheckShuffle validates one safe-shuffle invocation against the paper's
+// structural contract and returns human-readable violation descriptions
+// (empty when the output is well-formed). It is a pure function so unit
+// tests can feed it deliberately broken shuffles (mutation smoke tests) and
+// verify the harness would catch them.
+//
+// Contract (Section 4.2.2):
+//
+//   - the output is a permutation of the input: every input entry appears in
+//     exactly one output slot, and no foreign entry appears;
+//   - output packets partition the input in order: all entries of output
+//     packet k precede all entries of packet k+1 in input order (splits close
+//     a packet; placement never moves an instruction backward across one);
+//   - with shuffle enabled, no entry lands on its leading frontend way, and —
+//     for unit classes with at least two ways — its planned backend way
+//     differs from its leading backend way;
+//   - with shuffle disabled (BlackJack-NS), the packet passes through in
+//     order with no NOPs;
+//   - every input entry is committed (wrong-path work never reaches shuffle),
+//     and the input spans one DTQ packet (two under the merging extension);
+//   - slots are well-formed: exactly Width per packet.
+func CheckShuffle(width int, units [isa.NumUnitClasses]int, shuffleOn, merge bool, in []*core.Entry, out []core.Packet) []string {
+	var errs []string
+	fail := func(format string, args ...any) {
+		errs = append(errs, fmt.Sprintf(format, args...))
+	}
+
+	if len(in) == 0 {
+		if len(out) != 0 {
+			fail("no input but %d output packets", len(out))
+		}
+		return errs
+	}
+
+	// Input sanity: committed entries from one packet (two when merging).
+	ids := map[uint64]struct{}{}
+	for _, e := range in {
+		ids[e.PacketID] = struct{}{}
+		if !e.Committed {
+			fail("uncommitted entry seq %d (pc %d) reached shuffle", e.Seq, e.PC)
+		}
+	}
+	maxIDs := 1
+	if merge {
+		maxIDs = 2
+	}
+	if len(ids) > maxIDs {
+		fail("input spans %d DTQ packets (max %d)", len(ids), maxIDs)
+	}
+
+	// Permutation check, by identity: DTQ entries are pointers owned by the
+	// machine, so pointer identity is exact.
+	pos := make(map[*core.Entry]int, len(in))
+	for i, e := range in {
+		if _, dup := pos[e]; dup {
+			fail("input entry seq %d appears twice", e.Seq)
+		}
+		pos[e] = i
+	}
+	seen := make(map[*core.Entry]bool, len(in))
+	prevMax := -1
+	for pi, p := range out {
+		if len(p.Slots) != width {
+			fail("output packet %d has %d slots, want %d", p.ID, len(p.Slots), width)
+		}
+		pktMax := prevMax
+		for si, s := range p.Slots {
+			e := s.Entry
+			if e == nil {
+				if s.IsNOP && !shuffleOn {
+					fail("pass-through packet %d slot %d holds a NOP", p.ID, si)
+				}
+				continue
+			}
+			if s.IsNOP {
+				fail("packet %d slot %d holds both an entry and a NOP", p.ID, si)
+			}
+			idx, ok := pos[e]
+			if !ok {
+				fail("packet %d slot %d holds foreign entry seq %d", p.ID, si, e.Seq)
+				continue
+			}
+			if seen[e] {
+				fail("entry seq %d placed twice", e.Seq)
+			}
+			seen[e] = true
+			if idx <= prevMax {
+				// Entry belongs to an earlier output packet's input range.
+				fail("entry seq %d (input index %d) appears in packet %d after a later entry closed packet %d",
+					e.Seq, idx, p.ID, out[pi-1].ID)
+			}
+			if idx > pktMax {
+				pktMax = idx
+			}
+
+			if shuffleOn {
+				if si == e.FrontWay {
+					fail("entry seq %d (pc %d) placed on its leading frontend way %d", e.Seq, e.PC, e.FrontWay)
+				}
+				if units[e.Class] >= 2 {
+					if bw := p.PlannedBackWay(si); bw == e.BackWay {
+						fail("entry seq %d (pc %d, class %v) planned on its leading backend way %d",
+							e.Seq, e.PC, e.Class, e.BackWay)
+					}
+				}
+			} else if si != idx-(prevMax+1) {
+				fail("pass-through entry seq %d at slot %d, want slot %d", e.Seq, si, idx-(prevMax+1))
+			}
+		}
+		// The packet-partition check needs the maximum input index of this
+		// packet as the floor for the next.
+		prevMax = pktMax
+	}
+	for _, e := range in {
+		if !seen[e] {
+			fail("input entry seq %d (pc %d) lost by shuffle", e.Seq, e.PC)
+		}
+	}
+	return errs
+}

@@ -1,0 +1,267 @@
+package diffcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"blackjack/internal/fault"
+	"blackjack/internal/isa"
+	"blackjack/internal/parallel"
+	"blackjack/internal/pipeline"
+	"blackjack/internal/prog"
+	"blackjack/internal/rename"
+	"blackjack/internal/sim"
+)
+
+// MatrixCell is one fault-class × pipeline-structure combination of the
+// coverage matrix, aggregated over several concrete sites and stressor
+// programs.
+type MatrixCell struct {
+	Class     fault.Class
+	Structure string
+
+	Runs      int // injection runs performed
+	Activated int // runs whose fault corrupted at least one value
+	Detected  int // activated runs flagged by a redundancy checker
+	Benign    int // activated runs whose output still matched the oracle
+	Silent    int // activated runs with silent output corruption (failures)
+	Wedged    int // runs that stopped making progress (observable hang)
+	Inactive  int // runs whose fault never activated
+
+	LatencySum  int64 // summed first-activation -> first-detection distances
+	LatencyRuns int
+}
+
+// Name returns "class/structure".
+func (c *MatrixCell) Name() string { return fmt.Sprintf("%v/%s", c.Class, c.Structure) }
+
+// MeanLatency returns the mean detection latency in cycles (0 when no run
+// measured one).
+func (c *MatrixCell) MeanLatency() float64 {
+	if c.LatencyRuns == 0 {
+		return 0
+	}
+	return float64(c.LatencySum) / float64(c.LatencyRuns)
+}
+
+// OK reports whether the cell meets the coverage contract: the fault class
+// was actually exercised on this structure, and every activated run was
+// detected, explicitly benign, or an observable wedge — never silent.
+func (c *MatrixCell) OK() bool { return c.Activated > 0 && c.Silent == 0 }
+
+// Matrix is the fault-coverage matrix of one machine mode.
+type Matrix struct {
+	Mode  pipeline.Mode
+	Cells []MatrixCell
+}
+
+// OK reports whether every cell meets the coverage contract.
+func (m *Matrix) OK() bool {
+	for i := range m.Cells {
+		if !m.Cells[i].OK() {
+			return false
+		}
+	}
+	return true
+}
+
+// Problems lists the cells violating the contract.
+func (m *Matrix) Problems() []string {
+	var out []string
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		switch {
+		case c.Activated == 0:
+			out = append(out, fmt.Sprintf("%s: never exercised (%d runs, all inactive)", c.Name(), c.Runs))
+		case c.Silent > 0:
+			out = append(out, fmt.Sprintf("%s: %d silent corruptions in %d activated runs", c.Name(), c.Silent, c.Activated))
+		}
+	}
+	return out
+}
+
+// String renders the matrix as a table.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fault-coverage matrix (%v)\n", m.Mode)
+	fmt.Fprintf(&b, "%-28s %5s %5s %5s %5s %5s %5s %9s  %s\n",
+		"class/structure", "runs", "activ", "det", "benig", "silent", "wedge", "lat(cyc)", "status")
+	for i := range m.Cells {
+		c := &m.Cells[i]
+		status := "ok"
+		if !c.OK() {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "%-28s %5d %5d %5d %5d %5d %5d %9.1f  %s\n",
+			c.Name(), c.Runs, c.Activated, c.Detected, c.Benign, c.Silent, c.Wedged, c.MeanLatency(), status)
+	}
+	return b.String()
+}
+
+// matrixCellSpec pairs a cell with its concrete sites and stressor shapes.
+type matrixCellSpec struct {
+	class     fault.Class
+	structure string
+	sites     []fault.Site
+	shapes    []prog.StressShape
+}
+
+// matrixSpecs enumerates every fault class × pipeline structure combination
+// the machine has: each frontend way (all decode fields), the backend ways
+// of every unit class (value, plus branch-direction on the intALU ways and
+// address corruption on the memory ways), the issue-queue payload RAM, and
+// the physical register file.
+func matrixSpecs(cfg pipeline.Config) []matrixCellSpec {
+	var specs []matrixCellSpec
+
+	allFields := []fault.DecodeField{fault.FieldRs1, fault.FieldRs2, fault.FieldRd, fault.FieldImm, fault.FieldOp}
+	for w := 0; w < cfg.FetchWidth; w++ {
+		var sites []fault.Site
+		for _, f := range allFields {
+			sites = append(sites, fault.Site{Class: fault.FrontendWay, Way: w, Field: f, BitMask: 4})
+		}
+		specs = append(specs, matrixCellSpec{
+			class:     fault.FrontendWay,
+			structure: fmt.Sprintf("fetch-way-%d", w),
+			sites:     sites,
+			shapes:    []prog.StressShape{prog.StressMixed, prog.StressBranch},
+		})
+	}
+
+	classShapes := map[isa.UnitClass]prog.StressShape{
+		isa.UnitIntALU: prog.StressIntALU,
+		isa.UnitIntMul: prog.StressIntMul,
+		isa.UnitIntDiv: prog.StressIntDiv,
+		isa.UnitFPALU:  prog.StressFPALU,
+		isa.UnitFPMul:  prog.StressFPMul,
+		isa.UnitMem:    prog.StressMem,
+	}
+	for cls := isa.UnitClass(0); cls < isa.NumUnitClasses; cls++ {
+		var sites []fault.Site
+		for w := 0; w < cfg.Units[cls]; w++ {
+			sites = append(sites, fault.Site{Class: fault.BackendWay, Unit: cls, Way: w, BitMask: 1 << uint(4+w)})
+		}
+		switch cls {
+		case isa.UnitIntALU:
+			sites = append(sites, fault.Site{Class: fault.BackendWay, Unit: cls, Way: 0, FlipBranch: true})
+		case isa.UnitMem:
+			sites = append(sites, fault.Site{Class: fault.BackendWay, Unit: cls, Way: 0, CorruptAddr: true, BitMask: 1})
+		}
+		specs = append(specs, matrixCellSpec{
+			class:     fault.BackendWay,
+			structure: fmt.Sprintf("%v-ways", cls),
+			sites:     sites,
+			shapes:    []prog.StressShape{classShapes[cls], prog.StressMixed},
+		})
+	}
+
+	var payloadSites []fault.Site
+	for _, slot := range []int{0, 1, cfg.IssueQueue / 2, cfg.IssueQueue - 1} {
+		payloadSites = append(payloadSites,
+			fault.Site{Class: fault.PayloadRAM, Slot: slot, Field: fault.FieldImm, BitMask: 2},
+			fault.Site{Class: fault.PayloadRAM, Slot: slot, Field: fault.FieldOp},
+		)
+	}
+	specs = append(specs, matrixCellSpec{
+		class:     fault.PayloadRAM,
+		structure: "issue-queue",
+		sites:     payloadSites,
+		shapes:    []prog.StressShape{prog.StressMixed, prog.StressIntALU},
+	})
+
+	var regSites []fault.Site
+	for _, r := range []rename.PhysReg{5, 40, 70, 130, 200} {
+		if int(r) < cfg.PhysRegs {
+			regSites = append(regSites, fault.Site{Class: fault.RegisterFile, Reg: r, BitMask: 1 << 9})
+		}
+	}
+	specs = append(specs, matrixCellSpec{
+		class:     fault.RegisterFile,
+		structure: "phys-regfile",
+		sites:     regSites,
+		shapes:    []prog.StressShape{prog.StressMixed, prog.StressMem},
+	})
+	return specs
+}
+
+// MatrixOptions configures a coverage-matrix run.
+type MatrixOptions struct {
+	Machine  pipeline.Config // zero value selects Table 1
+	Mode     pipeline.Mode   // must be a redundant mode
+	MaxInstr int             // per-injection budget (default 3000)
+	Seed     uint64          // stressor-program seed base
+	Workers  int             // injection fan-out (<= 0: NumCPU)
+}
+
+// CoverageMatrix injects every cell's sites into that cell's stressor
+// programs and classifies outcomes, asserting the paper's coverage story
+// end-to-end: every fault class on every pipeline structure is exercised and
+// either detected or explicitly benign. Results are deterministic in
+// (Machine, Mode, MaxInstr, Seed) at every worker count.
+func CoverageMatrix(opts MatrixOptions) (*Matrix, error) {
+	if opts.Machine.FetchWidth == 0 {
+		opts.Machine = pipeline.DefaultConfig()
+	}
+	if opts.MaxInstr <= 0 {
+		opts.MaxInstr = 3000
+	}
+	if !opts.Mode.Redundant() {
+		return nil, fmt.Errorf("diffcheck: coverage matrix needs a redundant mode, got %v", opts.Mode)
+	}
+	specs := matrixSpecs(opts.Machine)
+
+	// Flatten into independent injection runs for the worker pool.
+	type runSpec struct {
+		cell int
+		site fault.Site
+		prog *isa.Program
+	}
+	var runs []runSpec
+	for ci, spec := range specs {
+		for si, shape := range spec.shapes {
+			p, err := prog.StressProgram(prog.DeriveSeed(opts.Seed, uint64(ci*8+si)), shape)
+			if err != nil {
+				return nil, err
+			}
+			for _, site := range spec.sites {
+				runs = append(runs, runSpec{cell: ci, site: site, prog: p})
+			}
+		}
+	}
+	simCfg := sim.Config{Machine: opts.Machine, Mode: opts.Mode, MaxInstructions: opts.MaxInstr}
+	results, err := parallel.Map(opts.Workers, len(runs), func(i int) (sim.InjectionResult, error) {
+		return sim.InjectProgram(simCfg, runs[i].prog, runs[i].site, sim.InjectOptions{})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Matrix{Mode: opts.Mode}
+	for _, spec := range specs {
+		m.Cells = append(m.Cells, MatrixCell{Class: spec.class, Structure: spec.structure})
+	}
+	for i, r := range results {
+		c := &m.Cells[runs[i].cell]
+		c.Runs++
+		if r.Activations == 0 {
+			c.Inactive++
+			continue
+		}
+		c.Activated++
+		switch r.Outcome {
+		case sim.OutcomeDetected:
+			c.Detected++
+			if r.DetectionLatency >= 0 {
+				c.LatencySum += r.DetectionLatency
+				c.LatencyRuns++
+			}
+		case sim.OutcomeBenign:
+			c.Benign++
+		case sim.OutcomeSilent:
+			c.Silent++
+		case sim.OutcomeWedged:
+			c.Wedged++
+		}
+	}
+	return m, nil
+}

@@ -1,0 +1,158 @@
+package diffcheck
+
+import "blackjack/internal/isa"
+
+// Minimize shrinks a failing program while preserving the failure, ddmin
+// style: chunked instruction deletion (with branch-target remapping), then
+// NOP substitution (which preserves the PC layout and hence packet
+// boundaries), then data-segment and init shrinking. failing must return
+// true when the candidate still exhibits the failure; maxTests bounds the
+// number of candidate evaluations (<= 0 selects a default). The final halt
+// is never removed, so every candidate terminates.
+//
+// The returned program fails iff the input did; when the input does not fail
+// (or the test budget is zero) the input is returned unchanged.
+func Minimize(p *isa.Program, failing func(*isa.Program) bool, maxTests int) *isa.Program {
+	if maxTests <= 0 {
+		maxTests = 2000
+	}
+	mz := &minimizer{failing: failing, budget: maxTests}
+	if !mz.test(p) {
+		return p
+	}
+
+	cur := p
+	// Phase 1: chunked deletion, halving the chunk size as deletions stop
+	// succeeding (classic ddmin complement reduction).
+	for chunk := deletable(cur) / 2; chunk >= 1; chunk /= 2 {
+		for {
+			changed := false
+			for start := 0; start < deletable(cur); {
+				end := start + chunk
+				if end > deletable(cur) {
+					end = deletable(cur)
+				}
+				if cand := deleteRange(cur, start, end); cand != nil && mz.test(cand) {
+					cur = cand
+					changed = true
+					// Do not advance: the next chunk slid into place.
+					continue
+				}
+				start += chunk
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Phase 2: replace surviving instructions with NOPs one at a time. This
+	// keeps every PC (and so every branch target, fetch-group boundary and
+	// DTQ packet shape) fixed, isolating which instructions matter.
+	for i := 0; i < deletable(cur); i++ {
+		if cur.Code[i].Op == isa.OpNop {
+			continue
+		}
+		cand := clone(cur)
+		cand.Code[i] = isa.Inst{Op: isa.OpNop}
+		if mz.test(cand) {
+			cur = cand
+		}
+	}
+
+	// Phase 3: shrink the data segment and the init image.
+	for cur.DataSize > 1024 {
+		cand := clone(cur)
+		cand.DataSize = cur.DataSize / 2
+		if max := cand.DataSize / 8; len(cand.Init) > max {
+			cand.Init = cand.Init[:max]
+		}
+		if !mz.test(cand) {
+			break
+		}
+		cur = cand
+	}
+	for len(cur.Init) > 0 {
+		cand := clone(cur)
+		cand.Init = cand.Init[:len(cand.Init)/2]
+		if !mz.test(cand) {
+			break
+		}
+		cur = cand
+	}
+	return cur
+}
+
+type minimizer struct {
+	failing func(*isa.Program) bool
+	budget  int
+}
+
+func (mz *minimizer) test(p *isa.Program) bool {
+	if mz.budget <= 0 {
+		return false
+	}
+	mz.budget--
+	if p.Validate() != nil {
+		return false
+	}
+	return mz.failing(p)
+}
+
+// deletable returns the number of leading instructions eligible for deletion
+// or NOP substitution: everything except a final halt.
+func deletable(p *isa.Program) int {
+	n := len(p.Code)
+	if n > 0 && p.Code[n-1].Op == isa.OpHalt {
+		return n - 1
+	}
+	return n
+}
+
+func clone(p *isa.Program) *isa.Program {
+	q := *p
+	q.Code = append([]isa.Inst(nil), p.Code...)
+	q.Init = append([]uint64(nil), p.Init...)
+	return &q
+}
+
+// deleteRange removes code[from:to) and remaps every branch target: a target
+// maps to its new index, or — when the target itself was deleted — to the
+// first surviving instruction at or after it. Returns nil when nothing
+// remains to delete.
+func deleteRange(p *isa.Program, from, to int) *isa.Program {
+	if from >= to {
+		return nil
+	}
+	// survivorsBefore[i] = number of surviving instructions at indices < i;
+	// this is both the new index of a survivor and the landing slot of a
+	// deleted target.
+	survivorsBefore := make([]int, len(p.Code)+1)
+	for i := range p.Code {
+		survivorsBefore[i+1] = survivorsBefore[i]
+		if i < from || i >= to {
+			survivorsBefore[i+1]++
+		}
+	}
+	newLen := survivorsBefore[len(p.Code)]
+	if newLen == 0 {
+		return nil
+	}
+	q := *p
+	q.Init = p.Init
+	q.Code = make([]isa.Inst, 0, newLen)
+	for i, in := range p.Code {
+		if i >= from && i < to {
+			continue
+		}
+		if in.IsBranch() {
+			t := survivorsBefore[in.Imm]
+			if t >= newLen {
+				t = newLen - 1
+			}
+			in.Imm = int64(t)
+		}
+		q.Code = append(q.Code, in)
+	}
+	return &q
+}

@@ -225,7 +225,11 @@ func (m *Machine) shuffleStage() {
 		return
 	}
 	m.dtq.PopPacket(consumed)
-	for _, p := range m.shuffler.Shuffle(pkt) {
+	out := m.shuffler.Shuffle(pkt)
+	if m.shuffleObs != nil {
+		m.shuffleObs(m.cycle, pkt, out)
+	}
+	for _, p := range out {
 		if !m.packets.Push(p) {
 			m.internalError("trailing packet queue overflow despite space check")
 		}

@@ -89,10 +89,11 @@ type Machine struct {
 	dr       *core.DoubleRename
 	oc       *core.OrderChecker
 
-	sink      *detect.Sink
-	inj       Injector
-	areaModel area.Model
-	tracer    *Tracer
+	sink       *detect.Sink
+	inj        Injector
+	areaModel  area.Model
+	tracer     *Tracer
+	shuffleObs ShuffleObserver
 
 	events eventHeap
 	cycle  int64
@@ -131,6 +132,21 @@ func WithInjector(inj Injector) Option { return func(m *Machine) { m.inj = inj }
 // WithSink installs a shared detection sink (a fresh one is created
 // otherwise).
 func WithSink(s *detect.Sink) Option { return func(m *Machine) { m.sink = s } }
+
+// ShuffleObserver watches every safe-shuffle invocation: the committed DTQ
+// packet consumed (in) and the trailing packets produced (out), in the cycle
+// they were shuffled. Both slices — and the entries and slot arrays they
+// reference — are owned by the machine and are only valid for the duration of
+// the call; observers must copy anything they retain. Verification harnesses
+// (internal/diffcheck) use this to check structural invariants (permutation,
+// spatial diversity, DTQ drain order) during execution.
+type ShuffleObserver func(cycle int64, in []*core.Entry, out []core.Packet)
+
+// WithShuffleObserver attaches a safe-shuffle observer. It only fires in
+// DTQ-bearing modes (BlackJack, BlackJack-NS); a nil observer costs nothing.
+func WithShuffleObserver(obs ShuffleObserver) Option {
+	return func(m *Machine) { m.shuffleObs = obs }
+}
 
 // New builds a machine ready to run prog in the given mode.
 func New(cfg Config, mode Mode, prog *isa.Program, opts ...Option) (*Machine, error) {

@@ -1,0 +1,415 @@
+package prog
+
+import (
+	"fmt"
+	"math/rand"
+
+	"blackjack/internal/isa"
+)
+
+// This file extends the workload generator with adversarial program shapes
+// for the differential verification harness (internal/diffcheck). Where the
+// profile generator synthesizes SPEC-like steady-state behaviour, the
+// adversarial generator deliberately concentrates the patterns that stress
+// the pipeline's correctness machinery:
+//
+//   - tight dependence chains (serial wakeup, back-to-back bypass timing);
+//   - branch-dense regions (squash/rename-rollback, DTQ SquashYounger,
+//     BOQ pairing);
+//   - store/load aliasing storms (LSQ forwarding, store-buffer ordering,
+//     same-address release ordering);
+//   - packet-boundary edge cases (fetch groups of width-1/width/width+1 and
+//     taken-branch-terminated groups, which shape DTQ packets and
+//     safe-shuffle inputs);
+//   - unpipelined long-latency bursts (way occupancy, gang wakeup);
+//   - bounded loops and uniform random "soup".
+//
+// Programs are always structurally valid (Validate passes), end in OpHalt,
+// and are fully deterministic in the seed.
+
+// advIntRegs is the integer register pool adversarial programs compute in;
+// the remaining integer registers serve as loop counters and scratch.
+const (
+	advIntPool  = 12 // r1..r12
+	advFPPool   = 12 // f0..f11
+	advCounter  = isa.Reg(20)
+	advAddr     = isa.Reg(21)
+	advMaxInsts = 4096
+)
+
+// AdversarialProgram builds a randomized-but-valid program from the given
+// seed. The result is bounded to a few hundred instructions, ends in OpHalt,
+// and has every branch target inside the program, so it is safe to run on
+// both the golden model and the pipeline under any instruction budget.
+func AdversarialProgram(seed uint64) (*isa.Program, error) {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x243f6a8885a308d3))
+	b := NewBuilder(fmt.Sprintf("adv-%d", seed))
+
+	// Small data segment: 1KB or 2KB keeps address clamping busy (lots of
+	// aliasing) and corpus reproducers compact.
+	dataSize := 1024 << rng.Intn(2)
+	b.Data(dataSize)
+	initWords := 16 + rng.Intn(48)
+	words := make([]uint64, initWords)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	b.InitWords(words...)
+
+	g := &advGen{rng: rng, b: b}
+	g.preamble()
+	segments := 3 + rng.Intn(6)
+	for i := 0; i < segments && b.Len() < advMaxInsts-64; i++ {
+		g.segment()
+	}
+	b.Halt()
+	return b.Build()
+}
+
+type advGen struct {
+	rng    *rand.Rand
+	b      *Builder
+	labels int
+}
+
+func (g *advGen) label() string {
+	g.labels++
+	return fmt.Sprintf("adv%d", g.labels)
+}
+
+func (g *advGen) intReg() isa.Reg  { return isa.IntReg(1 + g.rng.Intn(advIntPool)) }
+func (g *advGen) fpReg() isa.Reg   { return isa.FPReg(g.rng.Intn(advFPPool)) }
+func (g *advGen) imm16() int64     { return int64(int16(g.rng.Uint64())) }
+func (g *advGen) smallDisp() int64 { return int64(8 * g.rng.Intn(16)) }
+
+// preamble loads varied values into the register pools so downstream
+// arithmetic, addresses and branch conditions are data-dependent from the
+// first instruction.
+func (g *advGen) preamble() {
+	for i := 1; i <= advIntPool; i++ {
+		g.b.Ld(isa.IntReg(i), isa.ZeroReg, int64(8*i))
+	}
+	for i := 0; i < advFPPool; i++ {
+		g.b.FLd(isa.FPReg(i), isa.ZeroReg, int64(8*(advIntPool+i)))
+	}
+	g.b.Li(advAddr, int64(g.rng.Intn(1024)))
+}
+
+// segment emits one adversarial shape, possibly wrapped in a bounded loop.
+func (g *advGen) segment() {
+	shape := g.rng.Intn(7)
+	if g.rng.Intn(4) == 0 {
+		g.boundedLoop(func() { g.emitShape(shape) })
+		return
+	}
+	g.emitShape(shape)
+}
+
+func (g *advGen) emitShape(shape int) {
+	switch shape {
+	case 0:
+		g.tightChain(6 + g.rng.Intn(20))
+	case 1:
+		g.branchDense(3 + g.rng.Intn(6))
+	case 2:
+		g.aliasStorm(6 + g.rng.Intn(14))
+	case 3:
+		g.packetEdge()
+	case 4:
+		g.fpStorm(5 + g.rng.Intn(12))
+	case 5:
+		g.longLatencyBurst(3 + g.rng.Intn(5))
+	case 6:
+		g.soup(8 + g.rng.Intn(24))
+	}
+}
+
+// boundedLoop wraps body in a 2..5 iteration counted loop.
+func (g *advGen) boundedLoop(body func()) {
+	iters := 2 + g.rng.Intn(4)
+	top := g.label()
+	g.b.Li(advCounter, int64(iters))
+	g.b.Label(top)
+	body()
+	g.b.Addi(advCounter, advCounter, -1)
+	g.b.Branch(isa.OpBne, advCounter, isa.ZeroReg, top)
+}
+
+// tightChain emits a serial dependence chain: every op reads the previous
+// op's destination (the minimum-ILP shape; issue-order and wakeup stress).
+func (g *advGen) tightChain(n int) {
+	r := g.intReg()
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpXor, isa.OpOr, isa.OpMul, isa.OpSlt, isa.OpAddi, isa.OpXori}
+	for i := 0; i < n; i++ {
+		op := ops[g.rng.Intn(len(ops))]
+		in := isa.Inst{Op: op, Rd: r, Rs1: r}
+		if in.HasImm() {
+			in.Imm = g.imm16()
+		} else {
+			in.Rs2 = g.intReg()
+		}
+		g.b.Emit(in)
+	}
+}
+
+// branchDense emits back-to-back data-dependent forward branches, each
+// skipping 1..3 operations — heavy misprediction, squash and rename-rollback
+// traffic, and (in BlackJack) DTQ SquashYounger churn.
+func (g *advGen) branchDense(n int) {
+	branchOps := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge}
+	for i := 0; i < n; i++ {
+		op := branchOps[g.rng.Intn(len(branchOps))]
+		skip := g.label()
+		g.b.Branch(op, g.intReg(), g.intReg(), skip)
+		for k := 1 + g.rng.Intn(3); k > 0; k-- {
+			g.soupOne()
+		}
+		g.b.Label(skip)
+	}
+}
+
+// aliasStorm interleaves stores and loads over a handful of fixed addresses,
+// mixing integer and FP accesses to the same word: store-to-load forwarding,
+// LSQ ordering and store-buffer same-address release ordering.
+func (g *advGen) aliasStorm(n int) {
+	nAddr := 1 + g.rng.Intn(3)
+	disps := make([]int64, nAddr)
+	for i := range disps {
+		disps[i] = g.smallDisp()
+	}
+	for i := 0; i < n; i++ {
+		d := disps[g.rng.Intn(nAddr)]
+		base := isa.ZeroReg
+		if g.rng.Intn(3) == 0 {
+			base = advAddr // data-dependent base, clamped at execution
+		}
+		switch g.rng.Intn(5) {
+		case 0, 1:
+			g.b.St(base, g.intReg(), d)
+		case 2:
+			g.b.FSt(base, g.fpReg(), d)
+		case 3:
+			g.b.Ld(g.intReg(), base, d)
+		case 4:
+			g.b.FLd(g.fpReg(), base, d)
+		}
+	}
+}
+
+// packetEdge emits independent same-class runs sized around the fetch width
+// (3, 4 and 5 for the Table 1 machine) separated by unconditional jumps, so
+// fetch groups — and hence DTQ packets — end at taken branches and straddle
+// alignment boundaries.
+func (g *advGen) packetEdge() {
+	for _, runLen := range []int{3, 4, 5} {
+		if g.rng.Intn(2) == 0 {
+			// Independent int ALU ops with distinct destinations.
+			for i := 0; i < runLen; i++ {
+				g.b.Op3(isa.OpAdd, isa.IntReg(1+i), g.intReg(), g.intReg())
+			}
+		} else {
+			// Independent loads: fill the two memory ways past capacity.
+			for i := 0; i < runLen; i++ {
+				g.b.Ld(isa.IntReg(1+i), isa.ZeroReg, g.smallDisp())
+			}
+		}
+		next := g.label()
+		g.b.Jmp(next)
+		g.b.Label(next)
+	}
+}
+
+// fpStorm emits FP work, including the unpipelined FP divide that shares the
+// FP multiplier ways.
+func (g *advGen) fpStorm(n int) {
+	ops := []isa.Op{isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFNeg, isa.OpFDiv, isa.OpCvtIF, isa.OpCvtFI}
+	for i := 0; i < n; i++ {
+		op := ops[g.rng.Intn(len(ops))]
+		in := isa.Inst{Op: op}
+		switch op {
+		case isa.OpCvtIF:
+			in.Rd, in.Rs1 = g.fpReg(), g.intReg()
+		case isa.OpCvtFI:
+			in.Rd, in.Rs1 = g.intReg(), g.fpReg()
+		case isa.OpFNeg:
+			in.Rd, in.Rs1 = g.fpReg(), g.fpReg()
+		default:
+			in.Rd, in.Rs1, in.Rs2 = g.fpReg(), g.fpReg(), g.fpReg()
+		}
+		g.b.Emit(in)
+	}
+}
+
+// longLatencyBurst emits back-to-back unpipelined divides/remainders: the
+// intDiv ways stay occupied for their full 20-cycle latency, backing up the
+// issue queue and (in BlackJack) delaying whole trailing packets.
+func (g *advGen) longLatencyBurst(n int) {
+	for i := 0; i < n; i++ {
+		op := isa.OpDiv
+		if g.rng.Intn(2) == 0 {
+			op = isa.OpRem
+		}
+		g.b.Op3(op, g.intReg(), g.intReg(), g.intReg())
+	}
+}
+
+// soup emits uniformly random valid instructions.
+func (g *advGen) soup(n int) {
+	for i := 0; i < n; i++ {
+		g.soupOne()
+	}
+}
+
+var advSoupOps = []isa.Op{
+	isa.OpNop, isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+	isa.OpShl, isa.OpShr, isa.OpSlt, isa.OpAddi, isa.OpAndi, isa.OpOri,
+	isa.OpXori, isa.OpSlti, isa.OpLui, isa.OpMul, isa.OpDiv, isa.OpRem,
+	isa.OpFAdd, isa.OpFSub, isa.OpFMul, isa.OpFNeg, isa.OpCvtIF, isa.OpCvtFI,
+	isa.OpLd, isa.OpSt, isa.OpFLd, isa.OpFSt,
+}
+
+func (g *advGen) soupOne() {
+	op := advSoupOps[g.rng.Intn(len(advSoupOps))]
+	in := isa.Inst{Op: op}
+	switch {
+	case op == isa.OpNop:
+	case in.IsLoad():
+		in.Rs1 = g.intReg()
+		in.Imm = g.smallDisp()
+		if op == isa.OpFLd {
+			in.Rd = g.fpReg()
+		} else {
+			in.Rd = g.intReg()
+		}
+	case in.IsStore():
+		in.Rs1, in.Imm = g.intReg(), g.smallDisp()
+		if op == isa.OpFSt {
+			in.Rs2 = g.fpReg()
+		} else {
+			in.Rs2 = g.intReg()
+		}
+	case op == isa.OpCvtIF:
+		in.Rd, in.Rs1 = g.fpReg(), g.intReg()
+	case op == isa.OpCvtFI:
+		in.Rd, in.Rs1 = g.intReg(), g.fpReg()
+	case op == isa.OpFAdd || op == isa.OpFSub || op == isa.OpFMul || op == isa.OpFNeg:
+		in.Rd, in.Rs1, in.Rs2 = g.fpReg(), g.fpReg(), g.fpReg()
+	case in.HasImm():
+		in.Rd, in.Rs1, in.Imm = g.intReg(), g.intReg(), g.imm16()
+	default:
+		in.Rd, in.Rs1, in.Rs2 = g.intReg(), g.intReg(), g.intReg()
+	}
+	g.b.Emit(in)
+}
+
+// StressShape selects the dominant behaviour of a StressProgram.
+type StressShape int
+
+// Stress shapes, one per pipeline structure the fault-coverage matrix
+// (internal/diffcheck) needs to exercise.
+const (
+	StressIntALU StressShape = iota
+	StressIntMul
+	StressIntDiv
+	StressFPALU
+	StressFPMul
+	StressMem
+	StressBranch
+	StressMixed
+)
+
+// StressProgram builds a program dominated by one shape, wrapped in a
+// counted loop so its dynamic instruction stream keeps the targeted
+// structure busy for the whole fault-injection budget.
+func StressProgram(seed uint64, shape StressShape) (*isa.Program, error) {
+	rng := rand.New(rand.NewSource(int64(seed ^ 0xa4093822299f31d0)))
+	b := NewBuilder(fmt.Sprintf("stress-%d-%d", shape, seed))
+	b.Data(1024)
+	words := make([]uint64, 32)
+	for i := range words {
+		words[i] = rng.Uint64()
+	}
+	b.InitWords(words...)
+	g := &advGen{rng: rng, b: b}
+	g.preamble()
+
+	b.Li(advCounter, 64)
+	b.Label("top")
+	for i := 0; i < 60; i++ {
+		switch shape {
+		case StressIntALU:
+			g.tightChain(2)
+		case StressIntMul:
+			g.b.Op3(isa.OpMul, g.intReg(), g.intReg(), g.intReg())
+		case StressIntDiv:
+			g.longLatencyBurst(1)
+		case StressFPALU:
+			in := isa.Inst{Op: isa.OpFAdd, Rd: g.fpReg(), Rs1: g.fpReg(), Rs2: g.fpReg()}
+			if g.rng.Intn(3) == 0 {
+				in.Op = isa.OpFSub
+			}
+			g.b.Emit(in)
+		case StressFPMul:
+			op := isa.OpFMul
+			if g.rng.Intn(6) == 0 {
+				op = isa.OpFDiv
+			}
+			g.b.Op3(op, g.fpReg(), g.fpReg(), g.fpReg())
+		case StressMem:
+			g.aliasStorm(2)
+		case StressBranch:
+			g.branchDense(1)
+		case StressMixed:
+			g.soupOne()
+		}
+	}
+	// Fold loop results into memory so a corrupted value is architecturally
+	// visible (silent corruption must be observable in the store stream).
+	g.b.St(isa.ZeroReg, g.intReg(), 512)
+	g.b.FSt(isa.ZeroReg, g.fpReg(), 520)
+	b.Addi(advCounter, advCounter, -1)
+	b.Branch(isa.OpBne, advCounter, isa.ZeroReg, "top")
+	b.Halt()
+	return b.Build()
+}
+
+// RandomProfile draws a random-but-valid workload profile: the profile
+// generator's knobs (mix, chains, streams, branches, working set) sampled
+// across their whole domain. Together with AdversarialProgram this gives the
+// fuzzing harness both "realistic" and "hostile" program distributions.
+func RandomProfile(name string, seed uint64) Profile {
+	rng := rand.New(rand.NewSource(int64(seed) ^ 0x13198a2e03707344))
+	// Mix fractions: random point in the simplex, scaled below 1.
+	var f [6]float64
+	sum := 0.0
+	for i := range f {
+		f[i] = rng.Float64()
+		sum += f[i]
+	}
+	scale := rng.Float64() / sum // leaves (1-scale) for plain int ALU work
+	for i := range f {
+		f[i] *= scale
+	}
+	p := Profile{
+		Name:              name,
+		Seed:              seed,
+		IntMulFrac:        f[0],
+		IntDivFrac:        f[1] * 0.3, // full-weight divides would dominate runtime
+		FPALUFrac:         f[2],
+		FPMulFrac:         f[3],
+		LoadFrac:          f[4],
+		StoreFrac:         f[5],
+		ChainFrac:         rng.Float64(),
+		Streams:           1 + rng.Intn(MaxStreams),
+		RandLoadFrac:      rng.Float64(),
+		PtrChaseFrac:      rng.Float64() * 0.5,
+		WorkingSetKB:      16 << rng.Intn(3),
+		Stride:            int64(8 * (1 + rng.Intn(16))),
+		BranchEvery:       rng.Intn(5),
+		DataDepBranchFrac: rng.Float64(),
+		SkipMax:           1 + rng.Intn(4),
+		BlockOps:          8 + rng.Intn(56),
+		Blocks:            1 + rng.Intn(4),
+	}
+	return p
+}

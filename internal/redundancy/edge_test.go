@@ -1,0 +1,113 @@
+package redundancy
+
+import (
+	"testing"
+
+	"blackjack/internal/detect"
+)
+
+// Draining a BOQ to empty and validating again must report pairing loss, and
+// the queue must accept new outcomes afterwards.
+func TestBOQEmptyDrainAndRefill(t *testing.T) {
+	q := NewBOQ(2)
+	var sink detect.Sink
+	q.Push(BranchOutcome{Seq: 0, PC: 4, Taken: false})
+	if !q.Validate(&sink, 1, 0, 4, false, 0) {
+		t.Fatal("matching outcome rejected")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after drain, want 0", q.Len())
+	}
+	// Validate against the now-empty queue: must flag, not panic.
+	if q.Validate(&sink, 2, 1, 8, true, 2) {
+		t.Error("empty-queue validate passed")
+	}
+	if sink.Total() != 1 {
+		t.Fatalf("sink.Total = %d, want 1", sink.Total())
+	}
+	if ev, _ := sink.First(); ev.Checker != detect.CheckBOQOutcome {
+		t.Errorf("checker = %v, want CheckBOQOutcome", ev.Checker)
+	}
+	// Refill after empty: the ring must have fully reset.
+	if !q.Push(BranchOutcome{Seq: 1, PC: 8, Taken: true, Target: 2}) {
+		t.Fatal("push after drain rejected")
+	}
+	if !q.Validate(&sink, 3, 1, 8, true, 2) {
+		t.Error("refilled outcome rejected")
+	}
+}
+
+// An LVQ drained to empty must reject lookups and retires without panicking,
+// and must re-anchor headSeq on the next push so lookups keep working across
+// empty/refill cycles at arbitrary ordinals.
+func TestLVQEmptyDrainEdges(t *testing.T) {
+	q := NewLVQ(2)
+	var sink detect.Sink
+	if _, ok := q.Lookup(0); ok {
+		t.Error("Lookup on never-filled LVQ succeeded")
+	}
+	if q.Retire(0) {
+		t.Error("Retire on empty LVQ succeeded")
+	}
+	if _, ok := q.ValidateAddr(&sink, 1, 0, 4, 0x10); ok {
+		t.Error("ValidateAddr on empty LVQ passed")
+	}
+	if sink.Total() != 1 {
+		t.Fatalf("sink.Total = %d, want 1", sink.Total())
+	}
+	// Fill, drain to empty, then refill at a much later ordinal.
+	q.Push(LoadValue{Seq: 7, Addr: 0x20, Value: 1})
+	if !q.Retire(7) {
+		t.Fatal("retire of head entry failed")
+	}
+	q.Push(LoadValue{Seq: 100, Addr: 0x28, Value: 2})
+	v, ok := q.Lookup(100)
+	if !ok || v.Value != 2 {
+		t.Fatalf("Lookup(100) = (%+v, %v) after refill", v, ok)
+	}
+	if _, ok := q.Lookup(7); ok {
+		t.Error("stale ordinal 7 still resolvable after drain/refill")
+	}
+}
+
+// Multiple pending stores to the same address must forward the youngest value
+// and release in strict FIFO program order, value-checked pair by pair — the
+// ordering that makes SRT's output comparison sound under write-after-write
+// sequences.
+func TestStoreBufferSameAddressOrdering(t *testing.T) {
+	b := NewStoreBuffer(4)
+	const addr = 0x40
+	for i := uint64(0); i < 3; i++ {
+		if !b.Push(PendingStore{Seq: i, PC: int(i), Addr: addr, Value: 100 + i}) {
+			t.Fatalf("push %d rejected", i)
+		}
+	}
+	// Forwarding must see the youngest write, not the oldest.
+	if v, ok := b.MatchYoungest(addr); !ok || v != 102 {
+		t.Fatalf("MatchYoungest = (%#x, %v), want (102, true)", v, ok)
+	}
+	// Release order is FIFO regardless of the shared address.
+	var sink detect.Sink
+	for i := uint64(0); i < 3; i++ {
+		rel, ok := b.CheckRelease(&sink, int64(i), i, int(i), addr, 100+i)
+		if !ok {
+			t.Fatalf("release %d flagged: %v", i, sink.Events())
+		}
+		if rel.Value != 100+i {
+			t.Fatalf("release %d value = %d, want %d (FIFO order violated)", i, rel.Value, 100+i)
+		}
+	}
+	if !sink.Empty() {
+		t.Errorf("unexpected events: %v", sink.Events())
+	}
+	// A trailing store whose value matches an OLDER same-address pending store
+	// but not the head must be flagged: pairing is positional, not by value.
+	b.Push(PendingStore{Seq: 3, Addr: addr, Value: 7})
+	b.Push(PendingStore{Seq: 4, Addr: addr, Value: 8})
+	if _, ok := b.CheckRelease(&sink, 10, 3, 0, addr, 8); ok {
+		t.Error("head release with younger store's value passed the check")
+	}
+	if sink.Total() != 1 {
+		t.Errorf("sink.Total = %d, want 1", sink.Total())
+	}
+}

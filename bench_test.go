@@ -218,6 +218,35 @@ func BenchmarkMachineRunAllocs(b *testing.B) {
 	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "instrs/s")
 }
 
+// benchCampaign16 measures the 16-site latent-defect campaign at one worker:
+// serial wall-clock equals total work, so the cold/checkpointed ns/op ratio
+// is the per-run cost the checkpoint/fork plan removes (the summaries are
+// byte-identical — see sim's TestCampaignByteIdenticalAcrossIntervals).
+func benchCampaign16(b *testing.B, interval int64) {
+	cfg := DefaultConfig(ModeBlackJack, 30_000)
+	cfg.Parallel = 1
+	cfg.CheckpointInterval = interval
+	sites := LatentFaultSites(cfg.Machine)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var detected int
+	for i := 0; i < b.N; i++ {
+		sum, err := Campaign(cfg, "gcc", sites, InjectOptions{SplitPayload: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected = sum.Counts[OutcomeDetected]
+	}
+	b.ReportMetric(float64(detected), "detected")
+}
+
+// BenchmarkCampaignCold16 replays the fault-free prefix cold in every run.
+func BenchmarkCampaignCold16(b *testing.B) { benchCampaign16(b, 0) }
+
+// BenchmarkCampaignCheckpointed16 forks each run from the latest warmup
+// snapshot preceding its fault's first activation (interval 2500 cycles).
+func BenchmarkCampaignCheckpointed16(b *testing.B) { benchCampaign16(b, 2500) }
+
 // benchSuiteParallel measures full-suite wall clock at a given worker count,
 // reporting aggregate committed-instruction throughput across all (benchmark,
 // mode) runs.

@@ -173,6 +173,11 @@ func Campaign(cfg Config, benchmark string, sites []FaultSite, opts InjectOption
 // frontend and backend way, payload slots and registers.
 func StandardFaultSites(machine MachineConfig) []FaultSite { return sim.StandardSites(machine) }
 
+// LatentFaultSites returns the 16-site latent-defect campaign: always-on
+// faults plus late-arming transients and trigger-gated faults that may never
+// activate — the workload shape Config.CheckpointInterval accelerates most.
+func LatentFaultSites(machine MachineConfig) []FaultSite { return sim.LatentSites(machine) }
+
 // Differential verification (the bjfuzz harness).
 type (
 	// FuzzOptions configure a differential fuzzing campaign: random programs

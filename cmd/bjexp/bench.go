@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"blackjack"
+)
+
+// campaignBench is the committed shape of BENCH_campaign.json: one measured
+// comparison of a fault campaign run cold versus checkpointed, plus the plain
+// simulation rate the campaign's per-run cost is built from.
+type campaignBench struct {
+	Benchmark          string  `json:"benchmark"`
+	Mode               string  `json:"mode"`
+	Instructions       int     `json:"instructions"`
+	Sites              int     `json:"sites"`
+	Parallel           int     `json:"parallel"`
+	CheckpointInterval int64   `json:"checkpoint_interval"`
+	NsPerInstr         float64 `json:"ns_per_instr"`
+	ColdCampaignMs     float64 `json:"cold_campaign_ms"`
+	CkptCampaignMs     float64 `json:"checkpointed_campaign_ms"`
+	Speedup            float64 `json:"speedup"`
+	ColdAllocsPerRun   uint64  `json:"cold_allocs_per_run"`
+	CkptAllocsPerRun   uint64  `json:"checkpointed_allocs_per_run"`
+}
+
+// runBenchJSON measures the 16-site latent-defect BlackJack campaign cold and
+// checkpointed and writes the comparison as JSON. Both campaigns produce
+// byte-identical summaries (verified here, not just in tests), so the
+// wall-clock delta is pure redundant replay removed. Measurement defaults to
+// one worker: serial wall-clock equals total work, so the ratio is the
+// per-run cost reduction rather than an artifact of scheduler luck.
+func runBenchJSON(path, bench string, n, par int, interval int64) error {
+	if interval <= 0 {
+		interval = 2500
+	}
+	if par <= 0 {
+		par = 1
+	}
+	cfg := blackjack.DefaultConfig(blackjack.ModeBlackJack, min(n, 30_000))
+	cfg.Parallel = par
+	sites := blackjack.LatentFaultSites(cfg.Machine)
+	opts := blackjack.InjectOptions{SplitPayload: true}
+
+	// Plain simulation rate: ns per committed leading-thread instruction.
+	simStart := time.Now()
+	r, err := blackjack.Run(cfg, bench)
+	if err != nil {
+		return err
+	}
+	nsPerInstr := float64(time.Since(simStart).Nanoseconds()) / float64(r.Stats.Committed[0])
+
+	measure := func(ckpt int64) (*blackjack.CampaignSummary, time.Duration, uint64, error) {
+		c := cfg
+		c.CheckpointInterval = ckpt
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		sum, err := blackjack.Campaign(c, bench, sites, opts)
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		return sum, elapsed, (after.Mallocs - before.Mallocs) / uint64(len(sites)), nil
+	}
+
+	coldSum, coldT, coldAllocs, err := measure(0)
+	if err != nil {
+		return err
+	}
+	ckptSum, ckptT, ckptAllocs, err := measure(interval)
+	if err != nil {
+		return err
+	}
+	for i := range coldSum.Results {
+		if !reflect.DeepEqual(coldSum.Results[i], ckptSum.Results[i]) {
+			return fmt.Errorf("bench: site %d diverged between cold and checkpointed campaigns", i)
+		}
+	}
+
+	b := campaignBench{
+		Benchmark:          bench,
+		Mode:               blackjack.ModeBlackJack.String(),
+		Instructions:       cfg.MaxInstructions,
+		Sites:              len(sites),
+		Parallel:           par,
+		CheckpointInterval: interval,
+		NsPerInstr:         nsPerInstr,
+		ColdCampaignMs:     float64(coldT.Microseconds()) / 1000,
+		CkptCampaignMs:     float64(ckptT.Microseconds()) / 1000,
+		Speedup:            float64(coldT) / float64(ckptT),
+		ColdAllocsPerRun:   coldAllocs,
+		CkptAllocsPerRun:   ckptAllocs,
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bjexp: %d-site campaign on %q: cold %.0fms, checkpointed %.0fms (%.1fx), %.0f ns/instr -> %s\n",
+		b.Sites, bench, b.ColdCampaignMs, b.CkptCampaignMs, b.Speedup, b.NsPerInstr, path)
+	return nil
+}

@@ -31,6 +31,8 @@ func main() {
 		bench   = flag.String("bench", "gcc", "benchmark for single-benchmark experiments (exta, extd)")
 		svgDir  = flag.String("svg", "", "also render the figures as SVG charts into this directory")
 		par     = flag.Int("parallel", 0, "worker count for suite/campaign/sweep fan-out (0 = NumCPU; output is identical at any value)")
+		ckpt    = flag.Int64("checkpoint-interval", 0, "campaign warmup snapshot interval in cycles for the fault-injection experiments (0 = every run cold; output is identical at any value)")
+		bjJSON  = flag.String("bench-json", "", "measure campaign wall-clock (cold vs checkpointed), ns/instr and allocs/run, write JSON here (e.g. BENCH_campaign.json) and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -45,8 +47,16 @@ func main() {
 	opts := experiments.DefaultOptions()
 	opts.Instructions = *n
 	opts.Parallel = *par
+	opts.CheckpointInterval = *ckpt
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+
+	if *bjJSON != "" {
+		if err := runBenchJSON(*bjJSON, *bench, *n, *par, *ckpt); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	switch *exp {

@@ -35,6 +35,7 @@ func main() {
 		split   = flag.Bool("split", true, "model split per-thread payload RAMs")
 		compare = flag.Bool("compare", false, "run the campaign under srt AND blackjack and compare")
 		par     = flag.Int("parallel", 0, "worker count for campaign fan-out over sites (0 = NumCPU; output is identical at any value)")
+		ckpt    = flag.Int64("checkpoint-interval", 0, "campaign warmup snapshot interval in cycles; injections fork from the latest snapshot before their fault fires (0 = every run cold; output is identical at any value)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -52,6 +53,7 @@ func main() {
 	}
 	cfg := blackjack.DefaultConfig(m, *n)
 	cfg.Parallel = *par
+	cfg.CheckpointInterval = *ckpt
 	opts := blackjack.InjectOptions{SplitPayload: *split}
 
 	if *site != "" {

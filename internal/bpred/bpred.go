@@ -97,3 +97,17 @@ func (p *Predictor) Update(l Lookup, taken bool) {
 func (p *Predictor) Stats() (predicts, mispredicts uint64) {
 	return p.predicts, p.mispredicts
 }
+
+// Clone returns an independent deep copy of the predictor (pattern table,
+// global history and statistics).
+func (p *Predictor) Clone() *Predictor {
+	c := &Predictor{
+		counters:    make([]uint8, len(p.counters)),
+		history:     p.history,
+		mask:        p.mask,
+		predicts:    p.predicts,
+		mispredicts: p.mispredicts,
+	}
+	copy(c.counters, p.counters)
+	return c
+}

@@ -131,6 +131,20 @@ func (h *Hierarchy) Access(addr uint64, cycle int64) (lat int, ok bool) {
 	return lat, true
 }
 
+// Clone returns an independent deep copy of the hierarchy (tags, LRU state,
+// port counters and statistics), so a checkpointed machine resumes with
+// byte-identical hit/miss timing.
+func (h *Hierarchy) Clone() *Hierarchy {
+	return &Hierarchy{
+		cfg:       h.cfg,
+		l1:        h.l1.clone(),
+		l2:        h.l2.clone(),
+		portCycle: h.portCycle,
+		portsUsed: h.portsUsed,
+		stats:     h.stats,
+	}
+}
+
 // Probe reports the latency an access would see without performing it (no
 // LRU update, no port use). Used by tests and diagnostics.
 func (h *Hierarchy) Probe(addr uint64) int {
@@ -175,6 +189,22 @@ func newSetAssoc(sizeBytes, ways, lineBytes int) *setAssoc {
 		valid:     make([]bool, sets*ways),
 		lru:       make([]uint64, sets*ways),
 	}
+}
+
+func (c *setAssoc) clone() *setAssoc {
+	n := &setAssoc{
+		sets:      c.sets,
+		ways:      c.ways,
+		lineShift: c.lineShift,
+		tags:      make([]uint64, len(c.tags)),
+		valid:     make([]bool, len(c.valid)),
+		lru:       make([]uint64, len(c.lru)),
+		clock:     c.clock,
+	}
+	copy(n.tags, c.tags)
+	copy(n.valid, c.valid)
+	copy(n.lru, c.lru)
+	return n
 }
 
 func (c *setAssoc) index(addr uint64) (set int, tag uint64) {

@@ -44,6 +44,14 @@ func (d *DoubleRename) Bind(leadP, trailP rename.PhysReg) {
 	d.table.Set(int(leadP), trailP)
 }
 
+// Clone returns an independent deep copy of the table (nil-safe).
+func (d *DoubleRename) Clone() *DoubleRename {
+	if d == nil {
+		return nil
+	}
+	return &DoubleRename{table: d.table.Clone()}
+}
+
 // OrderChecker implements BlackJack's commit-time validation of the
 // information borrowed from the leading thread (Section 4.4):
 //
@@ -89,6 +97,22 @@ func (c *OrderChecker) Stats() (dep, pc uint64) { return c.depChecks, c.pcChecks
 // model).
 func (c *OrderChecker) Mapping(logical isa.Reg) rename.PhysReg {
 	return c.second.Get(int(logical))
+}
+
+// Clone returns an independent deep copy of the checker (nil-safe).
+func (c *OrderChecker) Clone() *OrderChecker {
+	if c == nil {
+		return nil
+	}
+	return &OrderChecker{
+		second:     c.second.Clone(),
+		havePrev:   c.havePrev,
+		prevPC:     c.prevPC,
+		prevTaken:  c.prevTaken,
+		prevTarget: c.prevTarget,
+		depChecks:  c.depChecks,
+		pcChecks:   c.pcChecks,
+	}
 }
 
 // CommitInfo describes one trailing instruction at commit.

@@ -124,6 +124,22 @@ func (q *DTQ) SquashYounger(seq uint64) int {
 	})
 }
 
+// Clone returns an independent deep copy of the DTQ (nil-safe). Entries are
+// owned by the machine, so the caller supplies remap to translate each entry
+// pointer into its copy; the Seq index is rebuilt from the remapped ring.
+func (q *DTQ) Clone(remap func(*Entry) *Entry) *DTQ {
+	if q == nil {
+		return nil
+	}
+	c := &DTQ{ring: q.ring.Clone(), index: make(map[uint64]*Entry, q.ring.Len())}
+	for i := 0; i < c.ring.Len(); i++ {
+		e := remap(c.ring.At(i))
+		c.ring.SetAt(i, e)
+		c.index[e.Seq] = e
+	}
+	return c
+}
+
 // HeadPacket returns the instructions of the oldest-issued packet if every
 // one of them has committed, without consuming them. It returns nil while the
 // packet is incomplete or the queue is empty. The returned slice shares a

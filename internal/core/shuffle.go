@@ -100,6 +100,25 @@ type Shuffler struct {
 	nops          uint64
 }
 
+// Clone returns an independent copy of the shuffler (nil-safe): configuration,
+// packet-ID counter and statistics. The slot-array free list and output
+// scratch are transient per-call state and start empty in the copy.
+func (s *Shuffler) Clone() *Shuffler {
+	if s == nil {
+		return nil
+	}
+	return &Shuffler{
+		Width:         s.Width,
+		Units:         s.Units,
+		Disabled:      s.Disabled,
+		nextID:        s.nextID,
+		inputPackets:  s.inputPackets,
+		outputPackets: s.outputPackets,
+		splits:        s.splits,
+		nops:          s.nops,
+	}
+}
+
 // newSlots returns a zeroed Width-sized slot array, reusing a recycled one
 // when available.
 func (s *Shuffler) newSlots() []Slot {

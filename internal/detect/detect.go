@@ -120,3 +120,20 @@ func (s *Sink) First() (Event, bool) {
 
 // Empty reports whether no events were recorded.
 func (s *Sink) Empty() bool { return s.total == 0 }
+
+// Reset clears the sink for reuse, keeping Limit and the stored-event backing
+// array. Injection campaigns reset one sink per worker between runs instead
+// of allocating one per run.
+func (s *Sink) Reset() {
+	s.events = s.events[:0]
+	s.total = 0
+}
+
+// Clone returns an independent copy of the sink.
+func (s *Sink) Clone() *Sink {
+	c := &Sink{Limit: s.Limit, total: s.total}
+	if len(s.events) > 0 {
+		c.events = append([]Event(nil), s.events...)
+	}
+	return c
+}

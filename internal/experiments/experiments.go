@@ -34,6 +34,12 @@ type Options struct {
 	// sites, sweeps over their sweep points. <= 0 selects runtime.NumCPU().
 	// Every figure and table is byte-identical at every worker count.
 	Parallel int
+	// CheckpointInterval, when positive, makes the fault-injection campaigns
+	// (Ext-A, Ext-C, Ext-F, Ext-G) snapshot their fault-free warmup every
+	// that-many cycles and fork each injection from the latest snapshot
+	// preceding its fault's first activation (see sim.CampaignPlan). Every
+	// figure is byte-identical at every interval; 0 runs every injection cold.
+	CheckpointInterval int64
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -383,37 +389,46 @@ func ExtAFaultInjection(opts Options, benchmark string) ([]ExtARow, error) {
 	sites := sim.StandardSites(opts.Machine)
 	var rows []ExtARow
 	for _, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
-		cfg := sim.Config{Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions, Parallel: opts.Parallel}
+		cfg := sim.Config{
+			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+		}
 		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
 		}
-		row := ExtARow{Mode: mode, Sites: len(sites), Activated: sum.ActiveRuns, Rate: sum.DetectionRate()}
-		var latSum float64
-		var latN int
-		for _, r := range sum.Results {
-			switch r.Outcome {
-			case sim.OutcomeDetected:
-				row.Detected++
-				if r.DetectionLatency >= 0 {
-					latSum += float64(r.DetectionLatency)
-					latN++
-				}
-			case sim.OutcomeSilent:
-				row.Silent++
-			case sim.OutcomeBenign:
-				row.Benign++
-			case sim.OutcomeWedged:
-				row.Wedged++
-			}
-		}
-		row.AvgDetectLatency = -1
-		if latN > 0 {
-			row.AvgDetectLatency = latSum / float64(latN)
-		}
-		rows = append(rows, row)
+		rows = append(rows, extARowFromSummary(mode, len(sites), sum))
 	}
 	return rows, nil
+}
+
+// extARowFromSummary aggregates one campaign summary into an ExtARow (shared
+// by the hard-fault Ext-A and soft-error Ext-G experiments).
+func extARowFromSummary(mode pipeline.Mode, sites int, sum *sim.CampaignSummary) ExtARow {
+	row := ExtARow{Mode: mode, Sites: sites, Activated: sum.ActiveRuns, Rate: sum.DetectionRate()}
+	var latSum float64
+	var latN int
+	for _, r := range sum.Results {
+		switch r.Outcome {
+		case sim.OutcomeDetected:
+			row.Detected++
+			if r.DetectionLatency >= 0 {
+				latSum += float64(r.DetectionLatency)
+				latN++
+			}
+		case sim.OutcomeSilent:
+			row.Silent++
+		case sim.OutcomeBenign:
+			row.Benign++
+		case sim.OutcomeWedged:
+			row.Wedged++
+		}
+	}
+	row.AvgDetectLatency = -1
+	if latN > 0 {
+		row.AvgDetectLatency = latSum / float64(latN)
+	}
+	return row
 }
 
 // ExtATable renders the campaign summary.
@@ -482,7 +497,10 @@ func ExtCPayloadRAM(opts Options, benchmarks []string) ([]ExtCRow, error) {
 	// out across opts.Parallel workers, and nesting pools would oversubscribe.
 	var rows []ExtCRow
 	for _, b := range benchmarks {
-		cfg := sim.Config{Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions, Parallel: opts.Parallel}
+		cfg := sim.Config{
+			Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
+			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+		}
 		shared, err := sim.Campaign(cfg, b, sites, sim.InjectOptions{SplitPayload: false})
 		if err != nil {
 			return nil, err
@@ -703,11 +721,26 @@ func ExtFMultiFault(opts Options, benchmark string, maxFaults int) ([]ExtFRow, e
 			windows = append(windows, window{k, start})
 		}
 	}
+	cfg := sim.Config{
+		Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
+		CheckpointInterval: opts.CheckpointInterval,
+	}
+	// Every window is a contiguous range of the same site list, so with
+	// checkpointing enabled all of them fork from one shared warmup plan
+	// instead of each replaying the fault-free prefix cold.
+	var pl *sim.CampaignPlan
+	if opts.CheckpointInterval > 0 {
+		pl, err = sim.NewCampaignPlan(cfg, p, all, sim.InjectOptions{SplitPayload: true})
+		if err != nil {
+			return nil, err
+		}
+	}
 	results, err := parallel.Map(opts.Parallel, len(windows), func(i int) (sim.InjectionResult, error) {
 		w := windows[i]
-		return sim.InjectProgramMulti(sim.Config{
-			Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
-		}, p, all[w.start:w.start+w.faults], sim.InjectOptions{SplitPayload: true})
+		if pl != nil {
+			return pl.InjectRange(w.start, w.start+w.faults)
+		}
+		return sim.InjectProgramMulti(cfg, p, all[w.start:w.start+w.faults], sim.InjectOptions{SplitPayload: true})
 	})
 	if err != nil {
 		return nil, err
@@ -756,35 +789,15 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 	sites := sim.TransientSites(opts.Machine, 20)
 	var rows []ExtARow
 	for _, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
-		cfg := sim.Config{Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions, Parallel: opts.Parallel}
+		cfg := sim.Config{
+			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+		}
 		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
 		}
-		row := ExtARow{Mode: mode, Sites: len(sites), Activated: sum.ActiveRuns, Rate: sum.DetectionRate()}
-		var latSum float64
-		var latN int
-		for _, r := range sum.Results {
-			switch r.Outcome {
-			case sim.OutcomeDetected:
-				row.Detected++
-				if r.DetectionLatency >= 0 {
-					latSum += float64(r.DetectionLatency)
-					latN++
-				}
-			case sim.OutcomeSilent:
-				row.Silent++
-			case sim.OutcomeBenign:
-				row.Benign++
-			case sim.OutcomeWedged:
-				row.Wedged++
-			}
-		}
-		row.AvgDetectLatency = -1
-		if latN > 0 {
-			row.AvgDetectLatency = latSum / float64(latN)
-		}
-		rows = append(rows, row)
+		rows = append(rows, extARowFromSummary(mode, len(sites), sum))
 	}
 	return rows, nil
 }

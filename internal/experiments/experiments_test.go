@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"os"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -215,6 +216,38 @@ func TestExtFMultiFault(t *testing.T) {
 	}
 	if ExtFTable(rows, "gcc").NumRows() != 3 {
 		t.Error("ExtF table incomplete")
+	}
+}
+
+// Checkpointed campaigns must not change any experiment figure: Ext-A and
+// Ext-F rows are byte-identical with and without an interval.
+func TestExtCampaignsByteIdenticalWithCheckpointing(t *testing.T) {
+	opts := smallOpts()
+	opts.Instructions = 2500
+
+	coldA, err := ExtAFaultInjection(opts, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldF, err := ExtFMultiFault(opts, "gcc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.CheckpointInterval = 500
+	ckptA, err := ExtAFaultInjection(opts, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptF, err := ExtFMultiFault(opts, "gcc", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(coldA, ckptA) {
+		t.Errorf("ExtA diverged under checkpointing:\ncold %+v\nckpt %+v", coldA, ckptA)
+	}
+	if !reflect.DeepEqual(coldF, ckptF) {
+		t.Errorf("ExtF diverged under checkpointing:\ncold %+v\nckpt %+v", coldF, ckptF)
 	}
 }
 

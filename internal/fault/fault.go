@@ -198,6 +198,15 @@ func (inj *Injector) activate() {
 	}
 }
 
+// SeedUses pre-loads the per-site eligible-use counters, so an injector
+// installed on a machine forked from a mid-run checkpoint counts transient
+// uses as if it had been present from cycle 0. counts must come from a
+// Probe.UsesSnapshot taken on the same site list at the checkpoint cycle.
+func (inj *Injector) SeedUses(counts []uint64) {
+	inj.uses = make([]uint64, len(inj.Sites))
+	copy(inj.uses, counts)
+}
+
 // fires decides whether site i corrupts this eligible use, accounting for
 // transient (one-shot) semantics.
 func (inj *Injector) fires(i int) bool {

@@ -1,0 +1,170 @@
+package fault
+
+import (
+	"blackjack/internal/isa"
+	"blackjack/internal/rename"
+)
+
+// Probe is a non-mutating observer of a site list: it implements the
+// pipeline's Injector surface but never changes a value, instead recording —
+// per site — the cycle of the first use that a real Injector would have
+// corrupted, and the running count of eligible uses (the transient FireAt
+// counter).
+//
+// Campaign warmups run the fault-free golden simulation once with a Probe
+// attached. Because the probe never corrupts, sites cannot interact: every
+// site observes the pristine trajectory, so FireCycle(i) is exactly the first
+// activation cycle of a solo run injecting site i, and the first activation
+// of any subset is lower-bounded by the minimum FireCycle over its members
+// (until the first corruption, the multi-site machine is byte-identical to
+// the pristine one). Any checkpoint taken strictly before that minimum is
+// therefore a valid fork point for the subset, and UsesSnapshot taken there
+// seeds the fork's Injector counters exactly.
+type Probe struct {
+	Sites        []Site
+	SplitPayload bool
+
+	// Now supplies the current cycle (the machine's clock).
+	Now func() int64
+
+	uses []uint64
+	fire []int64
+	init bool
+}
+
+func (pr *Probe) ensure() {
+	if pr.init {
+		return
+	}
+	pr.uses = make([]uint64, len(pr.Sites))
+	pr.fire = make([]int64, len(pr.Sites))
+	for i := range pr.fire {
+		pr.fire[i] = -1
+	}
+	pr.init = true
+}
+
+// fires mirrors Injector.fires exactly, including the eligible-use counting
+// for transients, without any corruption side effect.
+func (pr *Probe) fires(i int) bool {
+	s := &pr.Sites[i]
+	if !s.Transient {
+		return true
+	}
+	pr.uses[i]++
+	at := s.FireAt
+	if at == 0 {
+		at = 1
+	}
+	return pr.uses[i] == at
+}
+
+// record stamps site i's first value-changing use.
+func (pr *Probe) record(i int) {
+	if pr.fire[i] < 0 && pr.Now != nil {
+		pr.fire[i] = pr.Now()
+	}
+}
+
+// FireCycle returns the cycle site i first changed a value on the pristine
+// trajectory, or -1 if it never would (for transients: its one shot missed or
+// never came; for triggered sites: the trigger never matched a value that
+// would change).
+func (pr *Probe) FireCycle(i int) int64 {
+	pr.ensure()
+	return pr.fire[i]
+}
+
+// UsesSnapshot returns a copy of the per-site eligible-use counters, for
+// seeding a forked Injector via SeedUses.
+func (pr *Probe) UsesSnapshot() []uint64 {
+	pr.ensure()
+	out := make([]uint64, len(pr.uses))
+	copy(out, pr.uses)
+	return out
+}
+
+// CorruptDecode implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptDecode(way int, in isa.Inst) isa.Inst {
+	pr.ensure()
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		if s.Class == FrontendWay && s.Way == way && s.triggered(uint64(in.Imm)) && pr.fires(i) {
+			if s.corruptInst(in) != in {
+				pr.record(i)
+			}
+		}
+	}
+	return in
+}
+
+// CorruptPayload implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptPayload(slot, thread int, in isa.Inst) isa.Inst {
+	pr.ensure()
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		if s.Class != PayloadRAM || s.Slot != slot {
+			continue
+		}
+		if pr.SplitPayload && s.Thread != thread {
+			continue
+		}
+		if !pr.fires(i) {
+			continue
+		}
+		if s.corruptInst(in) != in {
+			pr.record(i)
+		}
+	}
+	return in
+}
+
+// CorruptResult implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint64) uint64 {
+	pr.ensure()
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
+			!s.CorruptAddr && !s.FlipBranch && s.triggered(v) && pr.fires(i) {
+			pr.record(i) // XOR with a non-zero mask always changes the value
+		}
+	}
+	return v
+}
+
+// CorruptAddr implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptAddr(class isa.UnitClass, way int, addr uint64) uint64 {
+	pr.ensure()
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
+			s.CorruptAddr && s.triggered(addr) && pr.fires(i) {
+			pr.record(i)
+		}
+	}
+	return addr
+}
+
+// CorruptBranch implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptBranch(class isa.UnitClass, way int, taken bool) bool {
+	pr.ensure()
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way && s.FlipBranch && pr.fires(i) {
+			pr.record(i)
+		}
+	}
+	return taken
+}
+
+// CorruptRegRead implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptRegRead(p rename.PhysReg, v uint64) uint64 {
+	pr.ensure()
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		if s.Class == RegisterFile && s.Reg == p && s.triggered(v) && pr.fires(i) {
+			pr.record(i)
+		}
+	}
+	return v
+}

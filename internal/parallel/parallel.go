@@ -38,6 +38,15 @@ func Workers(n int) int {
 // that ran is returned — the deterministic analogue of a serial loop's first
 // error. fn must be safe for concurrent invocation on distinct indices.
 func ForEach(workers, n int, fn func(i int) error) error {
+	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachWorker is ForEach with the invoking worker's index [0, workers)
+// passed alongside the item index, so callers can maintain per-worker scratch
+// state (a reusable detection sink, a scratch machine) without locking: a
+// worker runs its items sequentially, so state keyed by worker index is never
+// touched concurrently. The serial fast path always reports worker 0.
+func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -49,7 +58,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 		// Serial fast path: no goroutines, so single-worker runs behave
 		// exactly like the pre-parallel harness (including error timing).
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := fn(0, i); err != nil {
 				return err
 			}
 		}
@@ -64,7 +73,7 @@ func ForEach(workers, n int, fn func(i int) error) error {
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
@@ -76,12 +85,12 @@ func ForEach(workers, n int, fn func(i int) error) error {
 				if i > 0 && failed.Load() {
 					return
 				}
-				if err := fn(i); err != nil {
+				if err := fn(worker, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -97,9 +106,15 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // ForEach: first failing index wins, outstanding work is cancelled, and a
 // non-nil error means the result slice is nil.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapWorker is Map with the invoking worker's index passed alongside the item
+// index (see ForEachWorker for the per-worker-state contract).
+func MapWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEach(workers, n, func(i int) error {
-		v, err := fn(i)
+	err := ForEachWorker(workers, n, func(worker, i int) error {
+		v, err := fn(worker, i)
 		if err != nil {
 			return err
 		}

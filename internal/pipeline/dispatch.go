@@ -346,7 +346,8 @@ func (m *Machine) doubleLookup(leadP rename.PhysReg) rename.PhysReg {
 	return rename.PhysReg(isa.NumArchRegs)
 }
 
-// enqueueIQ inserts the uop into the unified issue queue in dispatch order.
+// enqueueIQ inserts the uop into the unified issue queue in dispatch order
+// and wires it into the wakeup machinery.
 func (m *Machine) enqueueIQ(u *UOp, slot int) {
 	m.gseq++
 	u.GSeq = m.gseq
@@ -354,4 +355,5 @@ func (m *Machine) enqueueIQ(u *UOp, slot int) {
 	u.IQSlot = slot
 	m.iqSlots[slot] = true
 	m.iq = append(m.iq, u)
+	m.registerWakeup(u)
 }

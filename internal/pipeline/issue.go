@@ -25,6 +25,7 @@ func (m *Machine) issueStage() {
 	)
 	usesDTQ := m.mode.UsesDTQ()
 
+	m.drainWakeups()
 	for _, u := range m.iq {
 		if selected >= m.cfg.IssueWidth {
 			break
@@ -32,7 +33,7 @@ func (m *Machine) issueStage() {
 		if u.Squashed || !u.InIQ {
 			continue
 		}
-		if !m.operandsReady(u) {
+		if !m.slotReady(u.IQSlot) {
 			continue
 		}
 		// Trailing packets wake as a gang: a member (or typed NOP, which has
@@ -46,7 +47,7 @@ func (m *Machine) issueStage() {
 			if gangActive && u.PacketID != gangID {
 				continue // at most one trailing packet issues per cycle
 			}
-			if !m.packetReady(u.PacketID) {
+			if m.packetPending.pending(u.PacketID) {
 				continue
 			}
 		}
@@ -116,20 +117,13 @@ func (m *Machine) issueStage() {
 	}
 }
 
-// operandsReady reports whether both source operands are available this
-// cycle. Stores issue exactly once, with address AND data ready: BlackJack's
+// Operand readiness is tracked event-driven (wakeup.go): the ready bit of a
+// uop's payload slot is set the cycle both sources are available, so the
+// select loop above tests a bit instead of rescanning ready cycles. Stores
+// still issue exactly once, with address AND data ready: BlackJack's
 // correctness rests on the leading issue order being a valid dependence order
 // (the DTQ is consumed in that order by the trailing thread's double rename),
 // so a store must not enter the order before its data producer.
-func (m *Machine) operandsReady(u *UOp) bool {
-	if u.PSrc1 != rename.None && !m.rf.Ready(u.PSrc1, m.cycle) {
-		return false
-	}
-	if u.PSrc2 != rename.None && !m.rf.Ready(u.PSrc2, m.cycle) {
-		return false
-	}
-	return true
-}
 
 // loadReady reports whether a cache-side load may issue. The LSQ computes
 // store addresses early — as soon as a store's base register is ready, before
@@ -174,20 +168,6 @@ func (m *Machine) loadReady(u *UOp) bool {
 	return true
 }
 
-// packetReady reports whether every unissued member of the trailing packet is
-// operand-ready (the gang-wakeup condition).
-func (m *Machine) packetReady(packetID uint64) bool {
-	for _, u := range m.iq {
-		if u.Thread != trailThread || !u.InIQ || u.Squashed || u.PacketID != packetID {
-			continue
-		}
-		if !m.operandsReady(u) {
-			return false
-		}
-	}
-	return true
-}
-
 // accessesCache reports whether the uop's loads go to the cache hierarchy
 // (leading/single threads) rather than the LVQ (trailing threads).
 func (m *Machine) accessesCache(u *UOp) bool {
@@ -211,6 +191,7 @@ func (m *Machine) issueUOp(u *UOp, way int) {
 	u.Issued = true
 	u.InIQ = false
 	m.iqSlots[u.IQSlot] = false
+	m.clearSlotReady(u.IQSlot)
 	u.BackWay = way
 	m.trace(TraceIssue, u)
 	m.stats.Issued[u.Thread]++
@@ -279,6 +260,7 @@ func (m *Machine) issueUOp(u *UOp, way int) {
 		if u.PDest != rename.None {
 			m.rf.SetValue(u.PDest, v)
 			m.rf.SetReadyAt(u.PDest, u.DoneCycle)
+			m.wakeRegister(u.PDest)
 		}
 	}
 
@@ -344,6 +326,7 @@ func (m *Machine) issueLoad(u *UOp, inst isa.Inst, rawAddr uint64) {
 	if u.PDest != rename.None {
 		m.rf.SetValue(u.PDest, val)
 		m.rf.SetReadyAt(u.PDest, u.DoneCycle)
+		m.wakeRegister(u.PDest)
 	}
 }
 

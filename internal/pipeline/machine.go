@@ -73,6 +73,19 @@ type Machine struct {
 	iqSlots    []bool // payload RAM slot occupancy
 	unitFreeAt [isa.NumUnitClasses][]int64
 
+	// Wakeup machinery (see wakeup.go): one ready bit per payload slot, the
+	// per-physical-register waiter lists, the wakeup calendar (a power-of-two
+	// ring of buckets indexed by ready cycle & calMask; the ring spans more
+	// than the worst-case execution latency, so a bucket is always drained
+	// before its index is reused), and — in DTQ modes — the count of
+	// not-yet-ready members per trailing packet (the gang-wakeup condition as
+	// a counter instead of a queue scan).
+	readyMask     []uint64
+	regWaiters    [][]*UOp
+	cal           [][]*UOp
+	calMask       int64
+	packetPending *pendTable
+
 	pred   *bpred.Predictor
 	dcache *cache.Hierarchy
 
@@ -118,6 +131,13 @@ type Machine struct {
 	// queues (the same cyclic-dependency shape as the DTQ dispatch gate).
 	lvqInFlight int
 	sbInFlight  int
+
+	// Run-loop progress tracking. These live on the machine (not as Run
+	// locals) so a forked copy resumes livelock detection exactly where the
+	// snapshot left it — a cold run and a fork must deadlock, or not, at the
+	// same cycle.
+	lastCommitTotal   uint64
+	lastProgressCycle int64
 
 	stats    Stats
 	storeSig uint64
@@ -177,6 +197,12 @@ func New(cfg Config, mode Mode, prog *isa.Program, opts ...Option) (*Machine, er
 		// threads' active lists.
 		iq:     make([]*UOp, 0, cfg.IssueQueue),
 		events: make(eventHeap, 0, 2*cfg.ActiveList),
+
+		readyMask: make([]uint64, (cfg.IssueQueue+63)/64),
+	}
+	m.initWakeup()
+	if mode.UsesDTQ() {
+		m.packetPending = &pendTable{}
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -301,22 +327,33 @@ func (m *Machine) Tick() {
 // returns the machine statistics. A cycle backstop (Config.MaxCycles) guards
 // against livelock; hitting it sets Stats.Deadlocked.
 func (m *Machine) Run(maxLeading int) *Stats {
+	return m.RunWithCheckpoints(maxLeading, 0, nil)
+}
+
+// RunWithCheckpoints runs like Run, additionally invoking hook every interval
+// cycles (after the cycle's Tick and livelock check) so callers can take
+// periodic Snapshots. An interval <= 0 or nil hook disables checkpointing —
+// the loop is then exactly Run. The cycle limit and the progress backstop use
+// absolute cycle numbers, so a machine forked from a checkpoint and a cold
+// run continue through identical loop decisions.
+func (m *Machine) RunWithCheckpoints(maxLeading int, interval int64, hook func(*Machine)) *Stats {
 	m.cap = uint64(maxLeading)
 	limit := m.cfg.MaxCycles
 	if limit == 0 {
 		limit = int64(maxLeading)*300 + 1_000_000
 	}
-	lastCommit := uint64(0)
-	lastProgress := int64(0)
 	for !m.runDone() {
 		m.Tick()
-		if c := m.totalCommitted(); c != lastCommit {
-			lastCommit = c
-			lastProgress = m.cycle
+		if c := m.totalCommitted(); c != m.lastCommitTotal {
+			m.lastCommitTotal = c
+			m.lastProgressCycle = m.cycle
 		}
-		if m.cycle >= limit || m.cycle-lastProgress > 1_000_000 {
+		if m.cycle >= limit || m.cycle-m.lastProgressCycle > 1_000_000 {
 			m.stats.Deadlocked = true
 			break
+		}
+		if interval > 0 && hook != nil && m.cycle%interval == 0 {
+			hook(m)
 		}
 	}
 	m.finalizeStats()
@@ -403,6 +440,7 @@ func (m *Machine) squash(t *thread, afterSeq uint64, newPC int) {
 		if u.InIQ {
 			u.InIQ = false
 			m.iqSlots[u.IQSlot] = false
+			m.unwireWakeup(u)
 		}
 		u.Squashed = true
 		m.trace(TraceSquash, u)

@@ -81,6 +81,14 @@ type UOp struct {
 	PacketID uint64
 	IsNOP    bool
 	Halt     bool
+
+	// Wakeup state (see wakeup.go). WaitN counts source operands still
+	// awaiting a producer (a source used twice counts twice); ReadyCycle is
+	// the cycle both operands are available once WaitN reaches zero; InCal
+	// tracks membership in the machine's wakeup calendar at ReadyCycle.
+	WaitN      int
+	ReadyCycle int64
+	InCal      bool
 }
 
 // done reports whether execution has completed by the given cycle.

@@ -99,6 +99,16 @@ func (r *Ring[T]) Reset() {
 	r.head, r.n = 0, 0
 }
 
+// Clone returns an independent copy of the ring. Elements are copied by
+// value: rings of pointers share the pointed-to records, and owners that need
+// deep isolation (the DTQ, the trailing packet queue) remap the elements
+// after cloning.
+func (r *Ring[T]) Clone() *Ring[T] {
+	c := &Ring[T]{buf: make([]T, len(r.buf)), head: r.head, n: r.n}
+	copy(c.buf, r.buf)
+	return c
+}
+
 // RemoveIf deletes every element for which keep returns false, preserving
 // FIFO order of the survivors, and returns the number removed. It is used to
 // drop squashed wrong-path entries from queues allocated in issue order (the

@@ -66,6 +66,14 @@ func (q *BOQ) Validate(sink *detect.Sink, cycle int64, seq uint64, pc int, taken
 	return true
 }
 
+// Clone returns an independent deep copy of the BOQ (nil-safe).
+func (q *BOQ) Clone() *BOQ {
+	if q == nil {
+		return nil
+	}
+	return &BOQ{ring: q.ring.Clone()}
+}
+
 // LoadValue is one leading load result forwarded to the trailing thread.
 type LoadValue struct {
 	Seq   uint64 // per-thread load ordinal, program order
@@ -155,6 +163,14 @@ func (q *LVQ) ValidateAddr(sink *detect.Sink, cycle int64, seq uint64, pc int, a
 	return v.Value, true
 }
 
+// Clone returns an independent deep copy of the LVQ (nil-safe).
+func (q *LVQ) Clone() *LVQ {
+	if q == nil {
+		return nil
+	}
+	return &LVQ{ring: q.ring.Clone(), headSeq: q.headSeq}
+}
+
 // PendingStore is a committed leading store awaiting its trailing copy.
 type PendingStore struct {
 	Seq   uint64 // per-thread store ordinal, program order
@@ -230,6 +246,14 @@ func (b *StoreBuffer) CheckRelease(sink *detect.Sink, cycle int64, seq uint64, p
 	return lead, ok
 }
 
+// Clone returns an independent deep copy of the store buffer (nil-safe).
+func (b *StoreBuffer) Clone() *StoreBuffer {
+	if b == nil {
+		return nil
+	}
+	return &StoreBuffer{ring: b.ring.Clone()}
+}
+
 // StreamEntry is one committed leading instruction, as fed to the SRT
 // trailing thread's fetch. It carries the leading thread's resource usage so
 // coverage can be computed when the pair completes.
@@ -275,6 +299,16 @@ func (s *Stream) PeekAt(i int) StreamEntry { return s.ring.At(i) }
 
 // Pop consumes the oldest entry.
 func (s *Stream) Pop() (StreamEntry, bool) { return s.ring.Pop() }
+
+// Clone returns an independent deep copy of the stream (nil-safe). The
+// FetchGroup scratch buffer is not carried over; it is transient per-call
+// state that the clone re-grows on demand.
+func (s *Stream) Clone() *Stream {
+	if s == nil {
+		return nil
+	}
+	return &Stream{ring: s.ring.Clone()}
+}
 
 // FetchGroup pops up to width consecutive entries that lie in the same
 // width-aligned I-cache block with sequential PCs — the same group formation

@@ -59,6 +59,14 @@ func (f *RegFile) MarkPending(p PhysReg) { f.readyAt[p] = FarFuture }
 // Ready reports whether p's value is available at the given cycle.
 func (f *RegFile) Ready(p PhysReg, cycle int64) bool { return f.readyAt[p] <= cycle }
 
+// Clone returns an independent deep copy of the register file.
+func (f *RegFile) Clone() *RegFile {
+	c := &RegFile{vals: make([]uint64, len(f.vals)), readyAt: make([]int64, len(f.readyAt))}
+	copy(c.vals, f.vals)
+	copy(c.readyAt, f.readyAt)
+	return c
+}
+
 // FreeList hands out physical registers.
 type FreeList struct {
 	ring *queues.Ring[PhysReg]
@@ -112,6 +120,20 @@ func (fl *FreeList) Free(p PhysReg) {
 	}
 }
 
+// Clone returns an independent deep copy of the free list, preserving the
+// hand-out order (allocation order is architecturally visible: physical
+// register names flow into the DTQ and the double-rename table).
+func (fl *FreeList) Clone() *FreeList {
+	c := &FreeList{ring: fl.ring.Clone()}
+	if fl.free != nil {
+		c.free = make(map[PhysReg]bool, len(fl.free))
+		for p, v := range fl.free {
+			c.free[p] = v
+		}
+	}
+	return c
+}
+
 // Snapshot returns the registers currently on the free list, oldest first.
 // Intended for diagnostics and invariant-checking tests.
 func (fl *FreeList) Snapshot() []PhysReg {
@@ -149,6 +171,13 @@ func (m *Map) Set(i int, p PhysReg) (old PhysReg) {
 	old = m.entries[i]
 	m.entries[i] = p
 	return old
+}
+
+// Clone returns an independent copy of the table.
+func (m *Map) Clone() *Map {
+	c := &Map{entries: make([]PhysReg, len(m.entries))}
+	copy(c.entries, m.entries)
+	return c
 }
 
 // Reset sets every entry to None.

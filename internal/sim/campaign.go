@@ -75,21 +75,33 @@ func InjectProgram(cfg Config, p *isa.Program, site fault.Site, opts InjectOptio
 // InjectProgramMulti installs several simultaneous (uncorrelated) hard
 // faults — the multi-error scenario of Section 4.5 — and classifies the
 // combined outcome. The reported Site is the first one.
-func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions) (res InjectionResult, err error) {
+func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions) (InjectionResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return InjectionResult{}, err
 	}
 	if len(sites) == 0 {
 		return InjectionResult{}, fmt.Errorf("sim: no fault sites")
 	}
+	return injectSites(cfg, p, sites, opts, nil, newGoldenOracle(p))
+}
+
+// injectSites is the cold injection path: a fresh machine from cycle 0 with
+// the faults installed. Batch callers pass a reusable sink (Reset between
+// runs) and a shared golden oracle; nil sink means the machine allocates its
+// own, exactly the standalone behavior.
+func injectSites(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions, sink *detect.Sink, oracle *goldenOracle) (res InjectionResult, err error) {
 	inj := &fault.Injector{Sites: sites, SplitPayload: opts.SplitPayload}
-	site := sites[0]
-	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, pipeline.WithInjector(inj))
+	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
+	if sink != nil {
+		sink.Reset()
+		mopts = append(mopts, pipeline.WithSink(sink))
+	}
+	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, mopts...)
 	if err != nil {
 		return InjectionResult{}, err
 	}
 	inj.Now = m.Cycle
-	res = InjectionResult{Site: site, Mode: cfg.Mode, DetectionLatency: -1}
+	res = InjectionResult{Site: sites[0], Mode: cfg.Mode, DetectionLatency: -1}
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -103,30 +115,8 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 	}()
 
 	st := m.Run(cfg.MaxInstructions)
-	res.Activations = inj.Activations()
-	res.Detections = st.Detections
-	res.FirstEvent = st.FirstEvent
-	res.Cycles = st.Cycles
-	if first, ok := inj.FirstActivation(); ok && st.FirstEvent != nil {
-		res.DetectionLatency = st.FirstEvent.Cycle - first
-	}
-
-	switch {
-	case st.Detections > 0:
-		res.Outcome = OutcomeDetected
-	case st.Deadlocked:
-		res.Outcome = OutcomeWedged
-	default:
-		g, gerr := isa.NewMachine(p)
-		if gerr != nil {
-			return InjectionResult{}, gerr
-		}
-		g.Run(int(st.Committed[0]))
-		if st.StoreSignature == g.StoreSignature() && st.ReleasedStores == uint64(g.Stores()) {
-			res.Outcome = OutcomeBenign
-		} else {
-			res.Outcome = OutcomeSilent
-		}
+	if cerr := classify(&res, st, inj, oracle); cerr != nil {
+		return InjectionResult{}, cerr
 	}
 	return res, nil
 }
@@ -168,6 +158,52 @@ func StandardSites(cfg pipeline.Config) []fault.Site {
 	for _, reg := range []rename.PhysReg{200, 300, 400} {
 		if int(reg) < cfg.PhysRegs {
 			sites = append(sites, fault.Site{Class: fault.RegisterFile, Reg: reg, BitMask: 1 << 5})
+		}
+	}
+	return sites
+}
+
+// LatentSites returns a 16-site campaign modeling the paper's motivating
+// scenario (Section 1): latent hard defects in rarely-exercised hardware. One
+// always-on fault anchors the comparison; five transients arm only on a deep
+// eligible use, and ten trigger-gated faults wait for an operand pattern that
+// may never occur in the measured window. Checkpointed campaigns fork these
+// runs late (or serve them straight from the warmup result) where a cold
+// campaign replays the whole fault-free prefix once per site — the campaign
+// shape the checkpoint/fork machinery exists to accelerate.
+func LatentSites(cfg pipeline.Config) []fault.Site {
+	never := func(s fault.Site) fault.Site {
+		s.TriggerMask = ^uint64(0)
+		s.TriggerValue = 0xDEADBEEFDEADBEEF
+		return s
+	}
+	sites := []fault.Site{
+		// Always-on control site: fires within cycles of reset, so its fork
+		// replays essentially the whole run — the worst case for the plan.
+		{Class: fault.FrontendWay, Way: 0, Field: fault.FieldRs2},
+		// Late-arming transients: one shot on a deep eligible use.
+		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 1, BitMask: 1 << 9, Transient: true, FireAt: 12_000},
+		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 2, BitMask: 1 << 10, Transient: true, FireAt: 7000},
+		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, BitMask: 1 << 8, Transient: true, FireAt: 5500},
+		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 1, BitMask: 1 << 9, Transient: true, FireAt: 5000},
+		{Class: fault.FrontendWay, Way: 1, Field: fault.FieldRs1, Transient: true, FireAt: 13_000},
+		// Trigger-gated: corruption waits for an operand value that never
+		// shows up in the window. (Payload-RAM faults are untriggered —
+		// reading a slot always corrupts — so none appears here.)
+		never(fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, BitMask: 1 << 9}),
+		never(fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 3, BitMask: 1}),
+		never(fault.Site{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, BitMask: 1 << 4}),
+		never(fault.Site{Class: fault.BackendWay, Unit: isa.UnitFPALU, Way: 0, BitMask: 1 << 6}),
+		never(fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntMul, Way: 0, BitMask: 1 << 7}),
+		never(fault.Site{Class: fault.FrontendWay, Way: 2, Field: fault.FieldRd, BitMask: 1}),
+		never(fault.Site{Class: fault.FrontendWay, Way: 3, Field: fault.FieldImm, BitMask: 4}),
+		never(fault.Site{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 1, CorruptAddr: true, BitMask: 1}),
+		never(fault.Site{Class: fault.RegisterFile, Reg: 300, BitMask: 1}),
+		never(fault.Site{Class: fault.RegisterFile, Reg: 400, BitMask: 1 << 3}),
+	}
+	for i := range sites {
+		if sites[i].Class == fault.RegisterFile && int(sites[i].Reg) >= cfg.PhysRegs {
+			sites[i].Reg = rename.PhysReg(cfg.PhysRegs - 1)
 		}
 	}
 	return sites
@@ -224,15 +260,53 @@ func (s *CampaignSummary) DetectionRate() float64 {
 // Campaign injects every site into the same benchmark and summarizes. The
 // per-site runs are independent machines and fan out across cfg.Parallel
 // workers (default runtime.NumCPU()); results are assembled in site order, so
-// the summary is byte-identical at every worker count.
+// the summary is byte-identical at every worker count — and, because forked
+// runs are bit-identical to cold runs, at every cfg.CheckpointInterval.
 func Campaign(cfg Config, benchmark string, sites []fault.Site, opts InjectOptions) (*CampaignSummary, error) {
 	p, err := prog.Benchmark(benchmark)
 	if err != nil {
 		return nil, err
 	}
-	results, err := parallel.Map(cfg.Parallel, len(sites), func(i int) (InjectionResult, error) {
-		return InjectProgram(cfg, p, sites[i], opts)
-	})
+	return CampaignProgram(cfg, p, sites, opts)
+}
+
+// CampaignProgram is Campaign over an explicit program. With
+// cfg.CheckpointInterval > 0 the per-site runs fork from periodic snapshots
+// of one shared fault-free warmup (see CampaignPlan); otherwise every run is
+// cold. Either way the golden reference is served from one memoized oracle
+// and each worker reuses one detection sink across its runs.
+func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions) (*CampaignSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("sim: no fault sites")
+	}
+	workers := parallel.Workers(cfg.Parallel)
+	if workers > len(sites) {
+		workers = len(sites)
+	}
+	sinks := make([]*detect.Sink, workers)
+	for i := range sinks {
+		sinks[i] = &detect.Sink{}
+	}
+
+	var runOne func(worker, i int) (InjectionResult, error)
+	if cfg.CheckpointInterval > 0 {
+		pl, err := NewCampaignPlan(cfg, p, sites, opts)
+		if err != nil {
+			return nil, err
+		}
+		runOne = func(worker, i int) (InjectionResult, error) {
+			return pl.inject(i, i+1, sinks[worker])
+		}
+	} else {
+		oracle := newGoldenOracle(p)
+		runOne = func(worker, i int) (InjectionResult, error) {
+			return injectSites(cfg, p, sites[i:i+1], opts, sinks[worker], oracle)
+		}
+	}
+	results, err := parallel.MapWorker(cfg.Parallel, len(sites), runOne)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,265 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"blackjack/internal/detect"
+	"blackjack/internal/fault"
+	"blackjack/internal/isa"
+	"blackjack/internal/pipeline"
+)
+
+// This file implements checkpoint/fork fault campaigns. A campaign over N
+// sites previously ran N cold simulations, each replaying the same fault-free
+// prefix before its fault first fired — for trigger-gated or late-firing
+// faults, nearly the whole run. Instead, a CampaignPlan runs ONE fault-free
+// warmup with a non-mutating fault.Probe attached, snapshotting the machine
+// every CheckpointInterval cycles and recording each site's first activation
+// cycle on the pristine trajectory. Each injection then forks from the latest
+// checkpoint strictly preceding its sites' first activation; sites that can
+// never activate are served straight from the warmup result. The golden
+// ISA-reference state used for outcome classification is memoized in a
+// goldenOracle shared by every run of the campaign.
+//
+// Soundness: the probe never corrupts, so every site observes the pristine
+// trajectory, and a cold injected run is byte-identical to that trajectory
+// until its first corruption. A checkpoint taken strictly before the earliest
+// member activation is therefore on the injected run's own path, and
+// pipeline.Fork resumes it bit-identically (snapshot_test.go proves this per
+// cycle). Transient FireAt counters are seeded from the probe's use counts at
+// the checkpoint, so one-shot faults fire on exactly the same eligible use.
+
+// goldenOracle serves the golden model's store-stream state after k retired
+// instructions, memoized per k and shared (mutex-protected) across campaign
+// workers. The emulator steps forward incrementally; a request below the
+// current position replays from a fresh machine — no worse than the
+// one-machine-per-run cost this cache replaces.
+type goldenOracle struct {
+	mu   sync.Mutex
+	prog *isa.Program
+	g    *isa.Machine
+	memo map[uint64][2]uint64 // retired count -> {signature, stores}
+}
+
+func newGoldenOracle(p *isa.Program) *goldenOracle {
+	return &goldenOracle{prog: p, memo: make(map[uint64][2]uint64)}
+}
+
+// at returns the golden store signature and store count after k retired
+// instructions (or the program's halt, whichever comes first).
+func (o *goldenOracle) at(k uint64) (sig, stores uint64, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if v, ok := o.memo[k]; ok {
+		return v[0], v[1], nil
+	}
+	if o.g == nil || uint64(o.g.Retired()) > k {
+		g, err := isa.NewMachine(o.prog)
+		if err != nil {
+			return 0, 0, err
+		}
+		o.g = g
+	}
+	o.g.Run(int(k - uint64(o.g.Retired())))
+	v := [2]uint64{o.g.StoreSignature(), uint64(o.g.Stores())}
+	o.memo[k] = v
+	return v[0], v[1], nil
+}
+
+// classify fills an InjectionResult from a finished run's statistics,
+// resolving benign vs silent through the oracle. Shared by the cold, forked
+// and never-fires paths so the three agree exactly.
+func classify(res *InjectionResult, st *pipeline.Stats, inj *fault.Injector, oracle *goldenOracle) error {
+	res.Activations = inj.Activations()
+	res.Detections = st.Detections
+	res.FirstEvent = st.FirstEvent
+	res.Cycles = st.Cycles
+	if first, ok := inj.FirstActivation(); ok && st.FirstEvent != nil {
+		res.DetectionLatency = st.FirstEvent.Cycle - first
+	}
+	switch {
+	case st.Detections > 0:
+		res.Outcome = OutcomeDetected
+	case st.Deadlocked:
+		res.Outcome = OutcomeWedged
+	default:
+		sig, stores, err := oracle.at(st.Committed[0])
+		if err != nil {
+			return err
+		}
+		if st.StoreSignature == sig && st.ReleasedStores == stores {
+			res.Outcome = OutcomeBenign
+		} else {
+			res.Outcome = OutcomeSilent
+		}
+	}
+	return nil
+}
+
+// planCheckpoint is one warmup snapshot: the machine state, the cycle it was
+// taken at, and the probe's per-site eligible-use counters at that cycle.
+type planCheckpoint struct {
+	cycle int64
+	snap  *pipeline.Checkpoint
+	uses  []uint64
+}
+
+// CampaignPlan amortizes a fault campaign's shared fault-free prefix: build
+// it once per (config, mode, program, site list), then run each injection
+// with Inject (or InjectRange for simultaneous multi-fault subsets).
+type CampaignPlan struct {
+	cfg   Config
+	prog  *isa.Program
+	sites []fault.Site
+	opts  InjectOptions
+
+	oracle    *goldenOracle
+	probe     *fault.Probe
+	cps       []planCheckpoint
+	warm      pipeline.Stats
+	warmValid bool
+}
+
+// NewCampaignPlan runs the fault-free warmup (one full simulation with a
+// probe attached) and snapshots it every cfg.CheckpointInterval cycles. An
+// interval <= 0 takes no snapshots — every injection then runs cold, but the
+// never-fires shortcut and the memoized oracle still apply.
+func NewCampaignPlan(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions) (*CampaignPlan, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sites) == 0 {
+		return nil, fmt.Errorf("sim: no fault sites")
+	}
+	pl := &CampaignPlan{
+		cfg: cfg, prog: p, sites: sites, opts: opts,
+		oracle: newGoldenOracle(p),
+		probe:  &fault.Probe{Sites: sites, SplitPayload: opts.SplitPayload},
+	}
+	pl.warmup()
+	return pl, nil
+}
+
+// warmup runs the pristine simulation. A panic during warmup (a wedged
+// simulator without any fault would be a bug, but campaigns must be robust)
+// just disables the plan: every injection falls back to a cold run.
+func (pl *CampaignPlan) warmup() {
+	defer func() {
+		if r := recover(); r != nil {
+			pl.cps = nil
+			pl.warmValid = false
+		}
+	}()
+	m, err := pipeline.New(pl.cfg.Machine, pl.cfg.Mode, pl.prog, pipeline.WithInjector(pl.probe))
+	if err != nil {
+		return
+	}
+	pl.probe.Now = m.Cycle
+	st := m.RunWithCheckpoints(pl.cfg.MaxInstructions, pl.cfg.CheckpointInterval, func(live *pipeline.Machine) {
+		snap := live.Snapshot()
+		pl.cps = append(pl.cps, planCheckpoint{
+			cycle: snap.Cycle(),
+			snap:  snap,
+			uses:  pl.probe.UsesSnapshot(),
+		})
+	})
+	pl.warm = *st
+	pl.warmValid = true
+}
+
+// NumSites returns the number of sites the plan was built over.
+func (pl *CampaignPlan) NumSites() int { return len(pl.sites) }
+
+// Checkpoints returns how many warmup snapshots the plan holds.
+func (pl *CampaignPlan) Checkpoints() int { return len(pl.cps) }
+
+// Inject classifies site i alone, forking from the best checkpoint.
+func (pl *CampaignPlan) Inject(i int) (InjectionResult, error) {
+	if i < 0 || i >= len(pl.sites) {
+		return InjectionResult{}, fmt.Errorf("sim: site index %d out of range [0,%d)", i, len(pl.sites))
+	}
+	return pl.inject(i, i+1, nil)
+}
+
+// InjectRange classifies the simultaneous (uncorrelated) faults
+// sites[lo:hi] — the multi-error scenario of Section 4.5 — forking from the
+// latest checkpoint preceding the subset's earliest possible activation.
+func (pl *CampaignPlan) InjectRange(lo, hi int) (InjectionResult, error) {
+	if lo < 0 || hi > len(pl.sites) || lo >= hi {
+		return InjectionResult{}, fmt.Errorf("sim: site range [%d,%d) invalid for %d sites", lo, hi, len(pl.sites))
+	}
+	return pl.inject(lo, hi, nil)
+}
+
+// inject runs the subset sites[lo:hi] with a reusable sink (nil: the machine
+// allocates its own).
+func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink) (InjectionResult, error) {
+	subset := pl.sites[lo:hi]
+	minFire := int64(-1)
+	if pl.warmValid {
+		fires := false
+		for i := lo; i < hi; i++ {
+			if c := pl.probe.FireCycle(i); c >= 0 && (!fires || c < minFire) {
+				minFire, fires = c, true
+			}
+		}
+		if !fires {
+			// No member can ever corrupt a value: the injected run would
+			// replay the warmup cycle for cycle. Serve the warmup's result.
+			res := InjectionResult{Site: subset[0], Mode: pl.cfg.Mode, DetectionLatency: -1}
+			if err := classify(&res, &pl.warm, &fault.Injector{}, pl.oracle); err != nil {
+				return InjectionResult{}, err
+			}
+			return res, nil
+		}
+	}
+	cp := pl.latestBefore(minFire)
+	if cp == nil {
+		return injectSites(pl.cfg, pl.prog, subset, pl.opts, sink, pl.oracle)
+	}
+	return pl.forkRun(cp, lo, hi, sink)
+}
+
+// latestBefore returns the newest checkpoint strictly before the given
+// cycle (the fork point must precede the first corruption), or nil.
+func (pl *CampaignPlan) latestBefore(cycle int64) *planCheckpoint {
+	if cycle < 0 {
+		return nil
+	}
+	j := sort.Search(len(pl.cps), func(i int) bool { return pl.cps[i].cycle >= cycle })
+	if j == 0 {
+		return nil
+	}
+	return &pl.cps[j-1]
+}
+
+// forkRun resumes the warmup from a checkpoint with a real injector
+// installed, seeded so transient use counting continues where the probe's
+// left off. Mirrors injectSites' classification and panic handling exactly.
+func (pl *CampaignPlan) forkRun(cp *planCheckpoint, lo, hi int, sink *detect.Sink) (res InjectionResult, err error) {
+	subset := pl.sites[lo:hi]
+	inj := &fault.Injector{Sites: subset, SplitPayload: pl.opts.SplitPayload}
+	inj.SeedUses(cp.uses[lo:hi])
+	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
+	if sink != nil {
+		sink.Reset()
+		mopts = append(mopts, pipeline.WithSink(sink))
+	}
+	m := pipeline.Fork(cp.snap, mopts...)
+	inj.Now = m.Cycle
+	res = InjectionResult{Site: subset[0], Mode: pl.cfg.Mode, DetectionLatency: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = OutcomeWedged
+			res.Activations = inj.Activations()
+			err = nil
+		}
+	}()
+	st := m.Run(pl.cfg.MaxInstructions)
+	if cerr := classify(&res, st, inj, pl.oracle); cerr != nil {
+		return InjectionResult{}, cerr
+	}
+	return res, nil
+}

@@ -27,6 +27,14 @@ type Config struct {
 	// simulation is always one machine on one goroutine — results are
 	// byte-identical at every worker count.
 	Parallel int
+	// CheckpointInterval, when positive, makes campaigns snapshot their
+	// fault-free warmup every that-many cycles and fork each injection from
+	// the latest snapshot preceding its fault's first activation, instead of
+	// replaying the warmup prefix cold (see CampaignPlan). Results are
+	// byte-identical at every interval; only wall-clock and memory change
+	// (each retained snapshot holds a full machine copy). 0 disables
+	// checkpointing.
+	CheckpointInterval int64
 }
 
 // Default returns a Table 1 machine in the given mode with the given budget.

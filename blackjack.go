@@ -38,6 +38,7 @@ import (
 	"blackjack/internal/experiments"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
 	"blackjack/internal/sim"
@@ -211,6 +212,32 @@ func CheckProgramAllModes(machine MachineConfig, p *Program, maxInstructions int
 func RunCoverageMatrix(opts CoverageMatrixOptions) (*FaultCoverageMatrix, error) {
 	return diffcheck.CoverageMatrix(opts)
 }
+
+// Observability.
+type (
+	// Tracer records structured pipeline events into a fixed ring and exports
+	// Chrome trace-event JSON (chrome://tracing, Perfetto). Attach via
+	// Config.Trace.
+	Tracer = obs.Tracer
+	// Metrics is a counter/gauge/histogram registry with deterministic text
+	// and JSON export. Attach via Config.Metrics.
+	Metrics = obs.Registry
+	// TraceKind tags a structured trace event.
+	TraceKind = obs.Kind
+)
+
+// NewTracer returns a tracer holding the last capacity events (<= 0 uses the
+// 65536-event default).
+func NewTracer(capacity int) *Tracer { return obs.NewTracer(capacity) }
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// WriteTraceFile writes a tracer's Chrome trace JSON to path.
+func WriteTraceFile(path string, t *Tracer) error { return obs.WriteTraceFile(path, t) }
+
+// WriteMetricsFile writes a registry's JSON snapshot to path.
+func WriteMetricsFile(path string, r *Metrics) error { return obs.WriteMetricsFile(path, r) }
 
 // Experiments.
 type (

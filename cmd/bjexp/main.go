@@ -15,7 +15,10 @@ import (
 	"strings"
 
 	"blackjack/internal/experiments"
+	"blackjack/internal/obs"
+	"blackjack/internal/pipeline"
 	"blackjack/internal/profiling"
+	"blackjack/internal/sim"
 )
 
 var experimentNames = []string{
@@ -35,6 +38,9 @@ func main() {
 		bjJSON  = flag.String("bench-json", "", "measure campaign wall-clock (cold vs checkpointed), ns/instr and allocs/run, write JSON here (e.g. BENCH_campaign.json) and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of one representative run (-bench under blackjack mode at the suite budget) to this file")
+		metricsOut = flag.String("metrics-out", "", "write the experiment's merged metrics registry as JSON to this file")
 	)
 	flag.Parse()
 
@@ -57,6 +63,17 @@ func main() {
 			fatal(err)
 		}
 		return
+	}
+
+	var metrics *obs.Registry
+	if *metricsOut != "" {
+		metrics = obs.NewRegistry()
+		opts.Metrics = metrics
+	}
+	if *traceOut != "" {
+		if err := writeRepresentativeTrace(*traceOut, opts, *bench); err != nil {
+			fatal(err)
+		}
 	}
 
 	switch *exp {
@@ -105,6 +122,30 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(experimentNames, ", ")))
 	}
+
+	if metrics != nil {
+		if err := obs.WriteMetricsFile(*metricsOut, metrics); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "bjexp: wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// writeRepresentativeTrace runs the named benchmark once under BlackJack mode
+// at the experiment budget with a tracer attached, so a suite regeneration can
+// ship a pipeline timeline without tracing every (benchmark, mode) machine.
+func writeRepresentativeTrace(path string, opts experiments.Options, bench string) error {
+	cfg := sim.Config{Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions}
+	tr := obs.NewTracer(0)
+	cfg.Trace = tr
+	if _, err := sim.Run(cfg, bench); err != nil {
+		return err
+	}
+	if err := obs.WriteTraceFile(path, tr); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bjexp: wrote trace of %s (blackjack) to %s\n", bench, path)
+	return nil
 }
 
 func mustSuite(opts experiments.Options) *experiments.Suite {

@@ -38,6 +38,9 @@ func main() {
 		ckpt    = flag.Int64("checkpoint-interval", 0, "campaign warmup snapshot interval in cycles; injections fork from the latest snapshot before their fault fires (0 = every run cold; output is identical at any value)")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (single -site runs only)")
+		metricsOut = flag.String("metrics-out", "", "write campaign/run metrics as JSON to this file")
 	)
 	flag.Parse()
 
@@ -56,6 +59,20 @@ func main() {
 	cfg.CheckpointInterval = *ckpt
 	opts := blackjack.InjectOptions{SplitPayload: *split}
 
+	if *traceOut != "" && *site == "" {
+		fatal(fmt.Errorf("-trace-out needs a single -site run (campaigns run many machines)"))
+	}
+	var otr *blackjack.Tracer
+	if *traceOut != "" {
+		otr = blackjack.NewTracer(0)
+		cfg.Trace = otr
+	}
+	var metrics *blackjack.Metrics
+	if *metricsOut != "" {
+		metrics = blackjack.NewMetrics()
+		cfg.Metrics = metrics
+	}
+
 	if *site != "" {
 		s, err := buildSite(*site, *way, *unit, *slot, *reg)
 		if err != nil {
@@ -66,6 +83,12 @@ func main() {
 			fatal(err)
 		}
 		printOne(r)
+		if otr != nil {
+			if err := blackjack.WriteTraceFile(*traceOut, otr); err != nil {
+				fatal(err)
+			}
+		}
+		writeMetrics(*metricsOut, metrics)
 		return
 	}
 
@@ -76,9 +99,23 @@ func main() {
 			c.Mode = mm
 			runCampaign(c, *bench, sites, opts)
 		}
+		writeMetrics(*metricsOut, metrics)
 		return
 	}
 	runCampaign(cfg, *bench, sites, opts)
+	writeMetrics(*metricsOut, metrics)
+}
+
+// writeMetrics writes the registry if the flag was given; campaigns merge
+// their per-worker registries into it before this runs.
+func writeMetrics(path string, m *blackjack.Metrics) {
+	if path == "" {
+		return
+	}
+	if err := blackjack.WriteMetricsFile(path, m); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("metrics written to %s\n", path)
 }
 
 func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite, opts blackjack.InjectOptions) {

@@ -44,6 +44,8 @@ func main() {
 		replay     = flag.String("replay", "", "replay a corpus directory instead of fuzzing")
 		emitCorpus = flag.Int("emit-corpus", 0, "write this many generator seeds as corpus files and exit")
 		corpusDir  = flag.String("corpus-dir", "internal/diffcheck/testdata/corpus", "corpus directory for -emit-corpus")
+
+		metricsOut = flag.String("metrics-out", "", "write the campaign's summary counters as metrics JSON to this file (fuzzing runs only)")
 	)
 	flag.Parse()
 
@@ -55,11 +57,29 @@ func main() {
 	case *emitCorpus > 0:
 		runEmit(*emitCorpus, *seed, *corpusDir)
 	default:
-		runFuzz(*n, *seed, *maxInstr, *variant, *par, !*noShrink, *reproDir)
+		runFuzz(*n, *seed, *maxInstr, *variant, *par, !*noShrink, *reproDir, *metricsOut)
 	}
 }
 
-func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shrink bool, reproDir string) {
+// writeFuzzMetrics exports the campaign summary as registry counters, so a CI
+// run's fuzz volume is inspectable with the same tooling as simulator metrics.
+func writeFuzzMetrics(path string, sum *blackjack.FuzzSummary) {
+	if path == "" {
+		return
+	}
+	reg := blackjack.NewMetrics()
+	reg.Counter("fuzz.programs").Add(uint64(sum.Programs))
+	reg.Counter("fuzz.runs").Add(uint64(sum.Runs))
+	reg.Counter("fuzz.shuffles").Add(uint64(sum.Shuffles))
+	reg.Counter("fuzz.dtq_entries").Add(uint64(sum.Entries))
+	reg.Counter("fuzz.failures").Add(uint64(len(sum.Failures)))
+	if err := blackjack.WriteMetricsFile(path, reg); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("bjfuzz: wrote metrics to %s\n", path)
+}
+
+func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shrink bool, reproDir, metricsOut string) {
 	opts := diffcheck.FuzzOptions{
 		Programs: n,
 		Seed:     seed,
@@ -80,6 +100,7 @@ func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shri
 	}
 	fmt.Printf("bjfuzz: %d programs, %d variant runs, %d shuffle calls (%d DTQ entries) validated\n",
 		sum.Programs, sum.Runs, sum.Shuffles, sum.Entries)
+	writeFuzzMetrics(metricsOut, sum)
 	if !sum.Failed() {
 		fmt.Println("bjfuzz: zero oracle divergences, zero invariant violations")
 		return

@@ -19,10 +19,11 @@ import (
 
 func main() {
 	var (
-		bench  = flag.String("bench", "gzip", "benchmark name")
-		disasm = flag.Int("disasm", 0, "print the first N instructions")
-		run    = flag.Int("run", 50_000, "functionally execute N instructions on the golden model")
-		list   = flag.Bool("list", false, "list benchmarks and exit")
+		bench      = flag.String("bench", "gzip", "benchmark name")
+		disasm     = flag.Int("disasm", 0, "print the first N instructions")
+		run        = flag.Int("run", 50_000, "functionally execute N instructions on the golden model")
+		list       = flag.Bool("list", false, "list benchmarks and exit")
+		metricsOut = flag.String("metrics-out", "", "write the workload's static-mix and golden-run counters as metrics JSON to this file")
 	)
 	flag.Parse()
 
@@ -71,6 +72,19 @@ func main() {
 		}
 	}
 
+	var reg *blackjack.Metrics
+	if *metricsOut != "" {
+		reg = blackjack.NewMetrics()
+		reg.Counter("gen.static_instructions").Add(uint64(len(p.Code)))
+		reg.Counter("gen.data_bytes").Add(uint64(p.DataSize))
+		for cls := isa.UnitClass(0); cls < isa.NumUnitClasses; cls++ {
+			reg.Counter(fmt.Sprintf("gen.class.%v", cls)).Add(uint64(mix[cls]))
+		}
+		reg.Counter("gen.loads").Add(uint64(loads))
+		reg.Counter("gen.stores").Add(uint64(stores))
+		reg.Counter("gen.branches").Add(uint64(branches))
+	}
+
 	if *run > 0 {
 		m, err := isa.NewMachine(p)
 		if err != nil {
@@ -79,6 +93,17 @@ func main() {
 		got := m.Run(*run)
 		fmt.Printf("golden run: %d instructions, %d stores, signature %#x\n",
 			got, m.Stores(), m.StoreSignature())
+		if reg != nil {
+			reg.Counter("golden.instructions").Add(uint64(got))
+			reg.Counter("golden.stores").Add(uint64(m.Stores()))
+		}
+	}
+
+	if reg != nil {
+		if err := blackjack.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", *metricsOut)
 	}
 }
 

@@ -27,6 +27,10 @@ func main() {
 		list  = flag.Bool("list", false, "list benchmarks and exit")
 		trace = flag.Int("trace", 0, "print a pipeline trace of the first N events")
 
+		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto)")
+		traceEvents = flag.Int("trace-events", 0, "structured-trace ring capacity in events (0 = 65536); the ring keeps the last N events")
+		metricsOut  = flag.String("metrics-out", "", "write the run's metrics registry as JSON to this file")
+
 		allModes = flag.Bool("all-modes", false, "run all four modes concurrently and print each result")
 		par      = flag.Int("parallel", 0, "worker pool size for batch entry points (0 = NumCPU; a plain single run always uses one machine)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -56,6 +60,19 @@ func main() {
 	if *iq > 0 {
 		cfg.Machine.IssueQueue = *iq
 	}
+	if (*traceOut != "" || *metricsOut != "") && (*allModes || *trace > 0) {
+		fatal(fmt.Errorf("-trace-out/-metrics-out apply to a plain single run (not -all-modes or -trace)"))
+	}
+	var otr *blackjack.Tracer
+	if *traceOut != "" {
+		otr = blackjack.NewTracer(*traceEvents)
+		cfg.Trace = otr
+	}
+	var reg *blackjack.Metrics
+	if *metricsOut != "" {
+		reg = blackjack.NewMetrics()
+		cfg.Metrics = reg
+	}
 	if *trace > 0 {
 		runTraced(cfg, *bench, *trace)
 		return
@@ -81,6 +98,18 @@ func main() {
 		fatal(err)
 	}
 	printResult(res)
+	if otr != nil {
+		if err := blackjack.WriteTraceFile(*traceOut, otr); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace            %s (%d events, %d dropped)\n", *traceOut, otr.Len(), otr.Dropped())
+	}
+	if reg != nil {
+		if err := blackjack.WriteMetricsFile(*metricsOut, reg); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics          %s\n", *metricsOut)
+	}
 }
 
 // runTraced runs with a pipeline tracer attached and prints the

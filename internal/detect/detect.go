@@ -81,7 +81,12 @@ type Sink struct {
 	// Limit caps stored events (0 means DefaultLimit); counting continues
 	// past the cap.
 	Limit int
-	total uint64
+	// Observer, when set, sees every reported event as it happens — the
+	// observability layer's detection hook. It is not copied by Clone and
+	// survives Reset: like trace state, it belongs to the harness driving
+	// the run, not to the machine state.
+	Observer func(Event)
+	total    uint64
 }
 
 // DefaultLimit is the default maximum number of stored events.
@@ -96,6 +101,9 @@ func (s *Sink) Report(e Event) {
 	}
 	if len(s.events) < limit {
 		s.events = append(s.events, e)
+	}
+	if s.Observer != nil {
+		s.Observer(e)
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
@@ -40,6 +41,13 @@ type Options struct {
 	// preceding its fault's first activation (see sim.CampaignPlan). Every
 	// figure is byte-identical at every interval; 0 runs every injection cold.
 	CheckpointInterval int64
+	// Metrics, when non-nil, accumulates the experiment's metrics
+	// (internal/obs): RunSuite exports every run's pipeline.Stats in
+	// deterministic (benchmark, mode) order, and the campaign experiments
+	// (Ext-A, Ext-G) merge their per-mode campaign registries in mode order.
+	// Tables and figures are unaffected. Must not be shared by concurrent
+	// experiment runs.
+	Metrics *obs.Registry
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -113,6 +121,14 @@ func RunSuite(opts Options) (*Suite, error) {
 			rs[mode] = results[i*len(modes)+j]
 		}
 		s.Results[name] = rs
+	}
+	if opts.Metrics != nil {
+		// Export after assembly, in input order: the sums are identical at
+		// every worker count because each run's stats are deterministic.
+		opts.Metrics.Counter("suite.runs").Add(uint64(len(results)))
+		for _, r := range results {
+			r.Stats.Export(opts.Metrics)
+		}
 	}
 	return s, nil
 }
@@ -389,9 +405,13 @@ func ExtAFaultInjection(opts Options, benchmark string) ([]ExtARow, error) {
 	sites := sim.StandardSites(opts.Machine)
 	var rows []ExtARow
 	for _, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
+		// The mode campaigns run one after another, so they can share the
+		// experiment registry directly (Campaign merges its per-worker
+		// registries into cfg.Metrics after its own fan-out completes).
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+			Metrics: opts.Metrics,
 		}
 		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
@@ -792,6 +812,7 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+			Metrics: opts.Metrics,
 		}
 		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {

@@ -176,6 +176,13 @@ type Injector struct {
 	// when the fault first activated (for detection-latency measurements).
 	Now func() int64
 
+	// OnActivate, when set, is invoked after every activation (any site
+	// actually changing a value) — the observability layer's
+	// fault-activation hook. The running activation count and, with Now
+	// attached, the current cycle are available from the injector inside
+	// the callback.
+	OnActivate func()
+
 	activations uint64
 	firstAct    int64
 	hasFirst    bool
@@ -195,6 +202,9 @@ func (inj *Injector) activate() {
 	if !inj.hasFirst && inj.Now != nil {
 		inj.firstAct = inj.Now()
 		inj.hasFirst = true
+	}
+	if inj.OnActivate != nil {
+		inj.OnActivate()
 	}
 }
 

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// WriteTraceFile writes the tracer's Chrome trace JSON to path, for the
+// -trace-out flag the CLIs share.
+func WriteTraceFile(path string, t *Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return f.Close()
+}
+
+// WriteMetricsFile writes the registry's JSON snapshot to path, for the
+// -metrics-out flag the CLIs share.
+func WriteMetricsFile(path string, r *Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing metrics: %w", err)
+	}
+	return f.Close()
+}

@@ -1,0 +1,108 @@
+// Golden-trace regression tests: every machine variant runs one canonical
+// program with tracing and metrics attached, and the exports must stay
+// byte-identical to the committed fixtures. Regenerate after an intentional
+// pipeline or exporter change with
+//
+//	go test ./internal/obs/ -run Golden -update
+//
+// and review the fixture diff like any other code change. The blackjack
+// metrics fixture doubles as the CI trace-smoke reference (the workflow runs
+// bjsim with the same parameters and diffs its -metrics-out against it).
+package obs_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"blackjack/internal/diffcheck"
+	"blackjack/internal/obs"
+	"blackjack/internal/sim"
+)
+
+var update = flag.Bool("update", false, "rewrite golden fixtures")
+
+const (
+	goldenBench  = "gzip"
+	goldenInstrs = 300
+	goldenEvents = 512
+)
+
+// goldenRun executes the canonical program under one variant and returns the
+// trace and metrics exports.
+func goldenRun(t *testing.T, v diffcheck.Variant) (trace, metrics []byte) {
+	t.Helper()
+	cfg := sim.Default(v.Mode, goldenInstrs)
+	cfg.Machine.MergePackets = v.Merge
+	tr := obs.NewTracer(goldenEvents)
+	reg := obs.NewRegistry()
+	cfg.Trace = tr
+	cfg.Metrics = reg
+	if _, err := sim.Run(cfg, goldenBench); err != nil {
+		t.Fatalf("%s: %v", v.Name, err)
+	}
+	var tb, mb bytes.Buffer
+	if err := tr.WriteChromeTrace(&tb); err != nil {
+		t.Fatalf("%s: %v", v.Name, err)
+	}
+	if err := reg.WriteJSON(&mb); err != nil {
+		t.Fatalf("%s: %v", v.Name, err)
+	}
+	return tb.Bytes(), mb.Bytes()
+}
+
+func fixturePath(variant, kind string) string {
+	name := strings.ReplaceAll(variant, "+", "-")
+	return filepath.Join("testdata", "golden", name+"."+kind+".json")
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing fixture (run with -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from fixture (%d bytes vs %d); regenerate with -update if intentional",
+			path, len(got), len(want))
+	}
+}
+
+func TestGoldenTraceAndMetrics(t *testing.T) {
+	for _, v := range diffcheck.Variants() {
+		t.Run(v.Name, func(t *testing.T) {
+			trace, metrics := goldenRun(t, v)
+			checkGolden(t, fixturePath(v.Name, "trace"), trace)
+			checkGolden(t, fixturePath(v.Name, "metrics"), metrics)
+		})
+	}
+}
+
+// TestGoldenRunsAreReproducible guards the fixtures' premise: two identical
+// runs export byte-identical traces and metrics within one process.
+func TestGoldenRunsAreReproducible(t *testing.T) {
+	v, err := diffcheck.VariantByName("blackjack")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, m1 := goldenRun(t, v)
+	t2, m2 := goldenRun(t, v)
+	if !bytes.Equal(t1, t2) {
+		t.Error("trace export not reproducible")
+	}
+	if !bytes.Equal(m1, m2) {
+		t.Error("metrics export not reproducible")
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTracerRingWraparound(t *testing.T) {
+	tests := []struct {
+		name        string
+		capacity    int
+		record      int
+		wantLen     int
+		wantDropped uint64
+		wantFirst   int64 // cycle of oldest retained event
+		wantLast    int64
+	}{
+		{name: "empty", capacity: 4, record: 0, wantLen: 0},
+		{name: "partial", capacity: 4, record: 3, wantLen: 3, wantFirst: 0, wantLast: 2},
+		{name: "exact-fill", capacity: 4, record: 4, wantLen: 4, wantFirst: 0, wantLast: 3},
+		{name: "wrap-by-one", capacity: 4, record: 5, wantLen: 4, wantDropped: 1, wantFirst: 1, wantLast: 4},
+		{name: "wrap-many", capacity: 4, record: 11, wantLen: 4, wantDropped: 7, wantFirst: 7, wantLast: 10},
+		{name: "capacity-one", capacity: 1, record: 3, wantLen: 1, wantDropped: 2, wantFirst: 2, wantLast: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			tr := NewTracer(tt.capacity)
+			for i := 0; i < tt.record; i++ {
+				tr.Record(Event{Cycle: int64(i), Kind: KindCommit})
+			}
+			if tr.Len() != tt.wantLen {
+				t.Errorf("Len = %d, want %d", tr.Len(), tt.wantLen)
+			}
+			if tr.Total() != uint64(tt.record) {
+				t.Errorf("Total = %d, want %d", tr.Total(), tt.record)
+			}
+			if tr.Dropped() != tt.wantDropped {
+				t.Errorf("Dropped = %d, want %d", tr.Dropped(), tt.wantDropped)
+			}
+			evs := tr.Events()
+			if len(evs) != tt.wantLen {
+				t.Fatalf("len(Events) = %d, want %d", len(evs), tt.wantLen)
+			}
+			if tt.wantLen == 0 {
+				return
+			}
+			if evs[0].Cycle != tt.wantFirst {
+				t.Errorf("oldest cycle = %d, want %d", evs[0].Cycle, tt.wantFirst)
+			}
+			if evs[len(evs)-1].Cycle != tt.wantLast {
+				t.Errorf("newest cycle = %d, want %d", evs[len(evs)-1].Cycle, tt.wantLast)
+			}
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Cycle != evs[i-1].Cycle+1 {
+					t.Fatalf("events out of order at %d: %v", i, evs)
+				}
+			}
+		})
+	}
+}
+
+func TestTracerRecordDoesNotAllocate(t *testing.T) {
+	tr := NewTracer(64)
+	e := Event{Cycle: 7, Kind: KindIssue, Thread: 1, Seq: 42, PC: 9}
+	allocs := testing.AllocsPerRun(1000, func() { tr.Record(e) })
+	if allocs != 0 {
+		t.Errorf("Record allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestHistogramObserveDoesNotAllocate(t *testing.T) {
+	h, err := NewHistogram([]float64{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() { h.Observe(3) })
+	if allocs != 0 {
+		t.Errorf("Observe allocates %v per call, want 0", allocs)
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	tests := []struct {
+		name       string
+		bounds     []float64
+		observe    []float64
+		wantCounts []uint64
+	}{
+		{
+			name: "basic", bounds: []float64{1, 2, 4},
+			observe:    []float64{0, 1, 1.5, 2, 3, 4, 5, 100},
+			wantCounts: []uint64{2, 2, 2, 2}, // <=1: {0,1}; <=2: {1.5,2}; <=4: {3,4}; over: {5,100}
+		},
+		{
+			name: "bound-is-inclusive", bounds: []float64{10},
+			observe:    []float64{10},
+			wantCounts: []uint64{1, 0},
+		},
+		{
+			name: "zero-width-buckets", bounds: []float64{5, 5, 5},
+			observe:    []float64{4, 5, 6},
+			wantCounts: []uint64{2, 0, 0, 1}, // first matching bound wins; duplicates stay empty
+		},
+		{
+			name: "no-bounds", bounds: nil,
+			observe:    []float64{1, 2},
+			wantCounts: []uint64{2}, // everything overflows
+		},
+		{
+			name: "negative-values", bounds: []float64{-10, 0, 10},
+			observe:    []float64{-20, -10, -5, 0, 5, 20},
+			wantCounts: []uint64{2, 2, 1, 1},
+		},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			h, err := NewHistogram(tt.bounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range tt.observe {
+				h.Observe(v)
+			}
+			got := h.Counts()
+			if len(got) != len(tt.wantCounts) {
+				t.Fatalf("Counts = %v, want %v", got, tt.wantCounts)
+			}
+			for i := range got {
+				if got[i] != tt.wantCounts[i] {
+					t.Fatalf("Counts = %v, want %v", got, tt.wantCounts)
+				}
+			}
+			if h.Count() != uint64(len(tt.observe)) {
+				t.Errorf("Count = %d, want %d", h.Count(), len(tt.observe))
+			}
+		})
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	if _, err := NewHistogram([]float64{2, 1}); err == nil {
+		t.Fatal("unsorted bounds accepted")
+	}
+}
+
+func TestHistogramMinMaxMean(t *testing.T) {
+	h, _ := NewHistogram([]float64{10})
+	for _, v := range []float64{4, -2, 7} {
+		h.Observe(v)
+	}
+	if h.min != -2 || h.max != 7 {
+		t.Errorf("min/max = %v/%v, want -2/7", h.min, h.max)
+	}
+	if got := h.Mean(); got != 3 {
+		t.Errorf("Mean = %v, want 3", got)
+	}
+}
+
+func TestRegistryMergeCommutes(t *testing.T) {
+	build := func(runs [][2]uint64) *Registry {
+		r := NewRegistry()
+		for _, run := range runs {
+			r.Counter("runs").Inc()
+			r.Counter("x").Add(run[0])
+			r.Gauge("g").Add(float64(run[1]))
+			r.Histogram("h", []float64{10, 20}).Observe(float64(run[0]))
+		}
+		return r
+	}
+	a := build([][2]uint64{{5, 1}, {15, 2}})
+	b := build([][2]uint64{{25, 3}})
+
+	ab := NewRegistry()
+	if err := ab.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	ba := NewRegistry()
+	if err := ba.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+
+	var t1, t2 bytes.Buffer
+	if err := ab.WriteText(&t1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.WriteText(&t2); err != nil {
+		t.Fatal(err)
+	}
+	if t1.String() != t2.String() {
+		t.Fatalf("merge order changed export:\n%s\nvs\n%s", t1.String(), t2.String())
+	}
+	if ab.CounterValue("x") != 45 || ab.CounterValue("runs") != 3 {
+		t.Errorf("merged counters wrong: x=%d runs=%d", ab.CounterValue("x"), ab.CounterValue("runs"))
+	}
+	h := ab.HistogramByName("h")
+	if h == nil || h.Count() != 3 {
+		t.Fatalf("merged histogram count wrong: %+v", h)
+	}
+}
+
+func TestRegistryMergeBoundsMismatch(t *testing.T) {
+	a := NewRegistry()
+	a.Histogram("h", []float64{1})
+	b := NewRegistry()
+	b.Histogram("h", []float64{2})
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging histograms with different bounds succeeded")
+	}
+}
+
+func TestRegistryHistogramReboundsPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("h", []float64{1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering histogram with new bounds did not panic")
+		}
+	}()
+	r.Histogram("h", []float64{2})
+}
+
+func TestRegistryExportsAreDeterministicAndSorted(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.last").Add(1)
+	r.Counter("a.first").Add(2)
+	r.Gauge("m.gauge").Set(0.5)
+	r.Histogram("h.depth", []float64{1, 2}).Observe(1)
+
+	var first bytes.Buffer
+	if err := r.WriteText(&first); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		var again bytes.Buffer
+		if err := r.WriteText(&again); err != nil {
+			t.Fatal(err)
+		}
+		if again.String() != first.String() {
+			t.Fatal("WriteText not deterministic")
+		}
+	}
+	if strings.Index(first.String(), "a.first") > strings.Index(first.String(), "z.last") {
+		t.Errorf("counters not sorted:\n%s", first.String())
+	}
+
+	var j1, j2 bytes.Buffer
+	if err := r.WriteJSON(&j1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(&j2); err != nil {
+		t.Fatal(err)
+	}
+	if j1.String() != j2.String() {
+		t.Fatal("WriteJSON not deterministic")
+	}
+	var parsed struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal(j1.Bytes(), &parsed); err != nil {
+		t.Fatalf("WriteJSON emitted invalid JSON: %v", err)
+	}
+	if parsed.Counters["a.first"] != 2 {
+		t.Errorf("JSON counters = %v", parsed.Counters)
+	}
+}
+
+func TestChromeTraceIsValidJSON(t *testing.T) {
+	tr := NewTracer(8)
+	tr.Record(Event{Cycle: 1, Kind: KindFetch, Thread: 0, Seq: 1, PC: 0, FrontWay: 2, BackWay: -1})
+	tr.Record(Event{Cycle: 2, Kind: KindIssue, Thread: 1, Seq: 1, PC: 0, NOP: true})
+	tr.Record(Event{Cycle: 3, Kind: KindShuffle, Thread: -1, Arg: 4<<32 | 2})
+	tr.Record(Event{Cycle: 4, Kind: KindFaultActivate, Thread: -1, Arg: 1})
+	tr.Record(Event{Cycle: 5, Kind: KindDetect, Thread: -1, PC: 12, Arg: 3})
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	// 4 metadata events + 5 instants.
+	if len(doc.TraceEvents) != 9 {
+		t.Fatalf("got %d trace events, want 9:\n%s", len(doc.TraceEvents), buf.String())
+	}
+	last := doc.TraceEvents[8]
+	if last["name"] != "detect" || last["tid"] != float64(machineTID) {
+		t.Errorf("detect event wrong: %v", last)
+	}
+	shuffle := doc.TraceEvents[6]
+	args := shuffle["args"].(map[string]any)
+	if args["in"] != float64(4) || args["out"] != float64(2) {
+		t.Errorf("shuffle args wrong: %v", args)
+	}
+}

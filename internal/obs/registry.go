@@ -1,0 +1,342 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Counter is a monotonically increasing uint64 metric. Callers hold the
+// handle returned by Registry.Counter so hot-path increments are a plain
+// add, not a map lookup.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Set overwrites the value (for counters exported once from finished
+// statistics rather than incremented live).
+func (c *Counter) Set(n uint64) { c.v = n }
+
+// Value returns the current value.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a float64 metric for derived per-run values (IPC, coverage).
+// Gauges merge by summation, so across merged registries they are only
+// meaningful as sums (or when exactly one source registry set them).
+type Gauge struct{ v float64 }
+
+// Set overwrites the value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add accumulates.
+func (g *Gauge) Add(v float64) { g.v += v }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram counts observations into fixed buckets. Bucket i counts
+// observations v <= Bounds[i] that exceeded every earlier bound; one
+// overflow bucket counts the rest. Bounds must be non-decreasing; with
+// duplicate (zero-width) bounds the first bucket of the run takes every
+// match and the duplicates stay empty — Observe picks the first bound >= v.
+// Observe never allocates.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is overflow
+	sum    float64
+	count  uint64
+	min    float64
+	max    float64
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds.
+func NewHistogram(bounds []float64) (*Histogram, error) {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] < bounds[i-1] {
+			return nil, fmt.Errorf("obs: histogram bounds not sorted: %v", bounds)
+		}
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}, nil
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Mean returns the mean observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Bounds returns the bucket upper bounds.
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// Counts returns the per-bucket counts; the last entry is the overflow
+// bucket.
+func (h *Histogram) Counts() []uint64 { return append([]uint64(nil), h.counts...) }
+
+func sameBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// merge folds o into h. Bucket-count and sum addition are commutative and
+// associative, so merging per-worker histograms in any order yields the
+// same result.
+func (h *Histogram) merge(o *Histogram) error {
+	if !sameBounds(h.bounds, o.bounds) {
+		return fmt.Errorf("obs: histogram bounds mismatch: %v vs %v", h.bounds, o.bounds)
+	}
+	if o.count == 0 {
+		return nil
+	}
+	if h.count == 0 || o.min < h.min {
+		h.min = o.min
+	}
+	if h.count == 0 || o.max > h.max {
+		h.max = o.max
+	}
+	h.count += o.count
+	h.sum += o.sum
+	for i := range h.counts {
+		h.counts[i] += o.counts[i]
+	}
+	return nil
+}
+
+// Registry holds named metrics. It is NOT safe for concurrent use: batch
+// harnesses give each worker its own registry and Merge them afterwards
+// (the per-worker-state contract of internal/parallel). Lookup methods
+// return stable handles so hot paths pay the map cost once.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating if needed) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the named histogram. Re-requesting
+// an existing histogram with different bounds is a programming error and
+// panics.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	h, ok := r.hists[name]
+	if !ok {
+		var err error
+		h, err = NewHistogram(bounds)
+		if err != nil {
+			panic(err.Error())
+		}
+		r.hists[name] = h
+		return h
+	}
+	if !sameBounds(h.bounds, bounds) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different bounds", name))
+	}
+	return h
+}
+
+// CounterValue returns the named counter's value (0 when absent).
+func (r *Registry) CounterValue(name string) uint64 {
+	if c, ok := r.counters[name]; ok {
+		return c.v
+	}
+	return 0
+}
+
+// GaugeValue returns the named gauge's value (0 when absent).
+func (r *Registry) GaugeValue(name string) float64 {
+	if g, ok := r.gauges[name]; ok {
+		return g.v
+	}
+	return 0
+}
+
+// HistogramByName returns the named histogram, or nil.
+func (r *Registry) HistogramByName(name string) *Histogram { return r.hists[name] }
+
+// Merge folds o into r: counters and gauges add, histograms add per bucket
+// (their bounds must match). Every operation is commutative and
+// associative, so merging per-worker registries yields identical results
+// regardless of merge order or how the work was partitioned.
+func (r *Registry) Merge(o *Registry) error {
+	for name, c := range o.counters {
+		r.Counter(name).Add(c.v)
+	}
+	for name, g := range o.gauges {
+		r.Gauge(name).Add(g.v)
+	}
+	for name, h := range o.hists {
+		mine, ok := r.hists[name]
+		if !ok {
+			mine, _ = NewHistogram(h.bounds) // h's bounds already validated
+			r.hists[name] = mine
+		}
+		if err := mine.merge(h); err != nil {
+			return fmt.Errorf("obs: merge %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+func (r *Registry) sortedCounterNames() []string {
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *Registry) sortedGaugeNames() []string {
+	names := make([]string, 0, len(r.gauges))
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r *Registry) sortedHistNames() []string {
+	names := make([]string, 0, len(r.hists))
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteText writes a deterministic line-oriented export: names sorted
+// within each section, one `counter`, `gauge` or `hist` line per metric.
+func (r *Registry) WriteText(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, name := range r.sortedCounterNames() {
+		fmt.Fprintf(bw, "counter %s %d\n", name, r.counters[name].v)
+	}
+	for _, name := range r.sortedGaugeNames() {
+		fmt.Fprintf(bw, "gauge %s %g\n", name, r.gauges[name].v)
+	}
+	for _, name := range r.sortedHistNames() {
+		h := r.hists[name]
+		fmt.Fprintf(bw, "hist %s count=%d sum=%g", name, h.count, h.sum)
+		if h.count > 0 {
+			fmt.Fprintf(bw, " min=%g max=%g", h.min, h.max)
+		}
+		for i, b := range h.bounds {
+			fmt.Fprintf(bw, " le%g=%d", b, h.counts[i])
+		}
+		fmt.Fprintf(bw, " inf=%d\n", h.counts[len(h.bounds)])
+	}
+	return bw.Flush()
+}
+
+// histSnapshot is the JSON shape of one histogram.
+type histSnapshot struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// snapshot is the JSON shape of a registry export.
+type snapshot struct {
+	Counters   map[string]uint64       `json:"counters"`
+	Gauges     map[string]float64      `json:"gauges,omitempty"`
+	Histograms map[string]histSnapshot `json:"histograms,omitempty"`
+}
+
+// WriteJSON writes the registry as indented JSON. encoding/json sorts map
+// keys, so output is deterministic.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	s := snapshot{Counters: make(map[string]uint64, len(r.counters))}
+	for name, c := range r.counters {
+		s.Counters[name] = c.v
+	}
+	if len(r.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(r.gauges))
+		for name, g := range r.gauges {
+			s.Gauges[name] = g.v
+		}
+	}
+	if len(r.hists) > 0 {
+		s.Histograms = make(map[string]histSnapshot, len(r.hists))
+		for name, h := range r.hists {
+			s.Histograms[name] = histSnapshot{
+				Count: h.count, Sum: h.sum, Min: h.min, Max: h.max,
+				Bounds: h.bounds, Counts: h.counts,
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

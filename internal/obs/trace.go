@@ -1,0 +1,204 @@
+// Package obs is the simulator's observability layer: a structured
+// per-cycle event tracer and a counter/gauge/histogram metrics registry.
+//
+// Both halves are built around the same contract:
+//
+//   - disabled costs nothing: every producer hook is guarded by a nil check
+//     on the hot path, and an enabled tracer records into a preallocated,
+//     pointer-free ring buffer, so Record never allocates
+//     (testing.AllocsPerRun proves both);
+//   - output is deterministic: the same run produces byte-identical trace
+//     and metrics exports, and per-worker registries merged in any order
+//     produce identical results (every merge operation is commutative and
+//     associative), so campaign metrics are identical at every worker count.
+//
+// The package sits below internal/pipeline (which imports it to emit
+// events) and is consumed by internal/sim, internal/experiments and the
+// CLIs through the -trace-out / -metrics-out flags.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Kind names a traced event. The pipeline-stage kinds follow the paper's
+// stage names: KindDispatch covers rename+dispatch (one stage in this
+// model), KindIssue covers issue+execute, KindWriteback is completion.
+type Kind uint8
+
+// Event kinds.
+const (
+	KindFetch Kind = iota
+	KindDispatch
+	KindIssue
+	KindWriteback
+	KindCommit
+	KindSquash
+	KindShuffle
+	KindFaultActivate
+	KindDetect
+
+	NumKinds
+)
+
+var kindNames = [NumKinds]string{
+	KindFetch: "fetch", KindDispatch: "dispatch", KindIssue: "issue",
+	KindWriteback: "writeback", KindCommit: "commit", KindSquash: "squash",
+	KindShuffle: "shuffle", KindFaultActivate: "fault-activate",
+	KindDetect: "detect",
+}
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one traced occurrence. The struct is pointer-free so a ring of
+// them is a single allocation and Record is a plain store.
+//
+// Field use by kind: the pipeline-stage kinds (fetch..squash) fill Thread,
+// Seq, PC, FrontWay, BackWay and NOP. KindShuffle packs the consumed-entry
+// and produced-packet counts into Arg (in<<32 | out). KindFaultActivate
+// carries the running activation count in Arg. KindDetect carries the
+// checker id in Arg and the detection PC in PC.
+type Event struct {
+	Cycle    int64
+	Seq      uint64
+	PC       int64
+	Arg      uint64
+	Kind     Kind
+	Thread   int8
+	NOP      bool
+	FrontWay int16
+	BackWay  int16
+}
+
+// DefaultTracerEvents is the ring capacity NewTracer uses for cap <= 0.
+const DefaultTracerEvents = 1 << 16
+
+// Tracer records events into a fixed-capacity ring buffer, keeping the most
+// recent events once full. The buffer is allocated once at construction;
+// Record never allocates. A Tracer is single-goroutine (one per machine).
+type Tracer struct {
+	buf   []Event
+	head  int // index of the oldest live event
+	n     int // live events
+	total uint64
+}
+
+// NewTracer builds a tracer holding up to capacity events (<= 0 selects
+// DefaultTracerEvents).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerEvents
+	}
+	return &Tracer{buf: make([]Event, capacity)}
+}
+
+// Record appends an event, evicting the oldest once the ring is full.
+func (t *Tracer) Record(e Event) {
+	t.total++
+	if t.n < len(t.buf) {
+		i := t.head + t.n
+		if i >= len(t.buf) {
+			i -= len(t.buf)
+		}
+		t.buf[i] = e
+		t.n++
+		return
+	}
+	t.buf[t.head] = e
+	t.head++
+	if t.head == len(t.buf) {
+		t.head = 0
+	}
+}
+
+// Len returns the number of live (retained) events.
+func (t *Tracer) Len() int { return t.n }
+
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int { return len(t.buf) }
+
+// Total returns how many events were recorded overall, including evicted
+// ones.
+func (t *Tracer) Total() uint64 { return t.total }
+
+// Dropped returns how many events were evicted by wraparound.
+func (t *Tracer) Dropped() uint64 { return t.total - uint64(t.n) }
+
+// Events returns the live events oldest-first in a freshly allocated slice.
+func (t *Tracer) Events() []Event {
+	out := make([]Event, t.n)
+	for i := 0; i < t.n; i++ {
+		j := t.head + i
+		if j >= len(t.buf) {
+			j -= len(t.buf)
+		}
+		out[i] = t.buf[j]
+	}
+	return out
+}
+
+// Reset discards all recorded events, keeping the buffer.
+func (t *Tracer) Reset() {
+	t.head, t.n, t.total = 0, 0, 0
+}
+
+// machineTID is the Chrome-trace thread id used for events that belong to
+// the machine rather than to one context (shuffle, fault, detect).
+const machineTID = 2
+
+// WriteChromeTrace writes the live events as Chrome trace-event JSON (the
+// format chrome://tracing and Perfetto open). One simulated cycle maps to
+// one microsecond of trace time; each event is an instant event on the
+// track of its thread (tid 0 leading/single, tid 1 trailing, tid 2 machine
+// for shuffle/fault/detect events). Output is deterministic: same events,
+// same bytes.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n")
+	fmt.Fprintf(bw, "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"blackjack\"}},\n")
+	fmt.Fprintf(bw, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,\"args\":{\"name\":\"leading\"}},\n")
+	fmt.Fprintf(bw, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"trailing\"}},\n")
+	fmt.Fprintf(bw, "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"args\":{\"name\":\"machine\"}}", machineTID)
+	for i := 0; i < t.n; i++ {
+		j := t.head + i
+		if j >= len(t.buf) {
+			j -= len(t.buf)
+		}
+		e := &t.buf[j]
+		bw.WriteString(",\n")
+		writeChromeEvent(bw, e)
+	}
+	fmt.Fprintf(bw, "\n]}\n")
+	return bw.Flush()
+}
+
+func writeChromeEvent(w *bufio.Writer, e *Event) {
+	tid := int(e.Thread)
+	if e.Kind >= KindShuffle || tid < 0 {
+		tid = machineTID
+	}
+	fmt.Fprintf(w, "{\"name\":%q,\"cat\":\"pipeline\",\"ph\":\"i\",\"s\":\"t\",\"ts\":%d,\"pid\":0,\"tid\":%d,\"args\":{",
+		e.Kind.String(), e.Cycle, tid)
+	switch e.Kind {
+	case KindShuffle:
+		fmt.Fprintf(w, "\"in\":%d,\"out\":%d", e.Arg>>32, e.Arg&0xffffffff)
+	case KindFaultActivate:
+		fmt.Fprintf(w, "\"activations\":%d", e.Arg)
+	case KindDetect:
+		fmt.Fprintf(w, "\"checker\":%d,\"pc\":%d", e.Arg, e.PC)
+	default:
+		fmt.Fprintf(w, "\"seq\":%d,\"pc\":%d,\"fw\":%d,\"bw\":%d", e.Seq, e.PC, e.FrontWay, e.BackWay)
+		if e.NOP {
+			w.WriteString(",\"nop\":true")
+		}
+	}
+	w.WriteString("}}")
+}

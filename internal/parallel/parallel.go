@@ -109,6 +109,32 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	return MapWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
 }
 
+// MapWorkerState is MapWorker with the per-worker scratch state made
+// explicit: newState builds one S per worker before any work starts, fn
+// receives its worker's state, and the states are returned alongside the
+// results so the caller can fold them back together deterministically
+// (e.g. merging per-worker metrics registries or detection sinks in state
+// order — the fold is only order-independent if the caller's merge
+// operation is commutative, since which worker ran which item is not
+// deterministic). On error the states are still returned for inspection.
+func MapWorkerState[S, T any](workers, n int, newState func() S, fn func(state S, worker, i int) (T, error)) ([]T, []S, error) {
+	nw := Workers(workers)
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	states := make([]S, nw)
+	for i := range states {
+		states[i] = newState()
+	}
+	out, err := MapWorker(workers, n, func(worker, i int) (T, error) {
+		return fn(states[worker], worker, i)
+	})
+	return out, states, err
+}
+
 // MapWorker is Map with the invoking worker's index passed alongside the item
 // index (see ForEachWorker for the per-worker-state contract).
 func MapWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"blackjack/internal/core"
 	"blackjack/internal/detect"
+	"blackjack/internal/obs"
 	"blackjack/internal/redundancy"
 	"blackjack/internal/rename"
 )
@@ -228,6 +229,12 @@ func (m *Machine) shuffleStage() {
 	out := m.shuffler.Shuffle(pkt)
 	if m.shuffleObs != nil {
 		m.shuffleObs(m.cycle, pkt, out)
+	}
+	if m.otr != nil {
+		m.otr.Record(obs.Event{
+			Cycle: m.cycle, Kind: obs.KindShuffle, Thread: -1,
+			Arg: uint64(len(pkt))<<32 | uint64(len(out)),
+		})
 	}
 	for _, p := range out {
 		if !m.packets.Push(p) {

@@ -227,11 +227,11 @@ func (m *Machine) dispatchInOrder(t *thread, item fetchItem) bool {
 // traceFetchDispatch emits the fetch (back-dated to the fetch cycle) and
 // dispatch events for a uop entering the issue queue.
 func (m *Machine) traceFetchDispatch(item fetchItem, u *UOp) {
-	if m.tracer == nil {
+	if m.tracer == nil && m.otr == nil {
 		return
 	}
-	m.tracer.record(item.fetchCycle, TraceFetch, u)
-	m.tracer.record(m.cycle, TraceDispatch, u)
+	m.traceAt(item.fetchCycle, TraceFetch, u)
+	m.traceAt(m.cycle, TraceDispatch, u)
 }
 
 // dispatchTrailingBJ handles the BlackJack trailing thread: double rename

@@ -10,6 +10,7 @@ import (
 	"blackjack/internal/core"
 	"blackjack/internal/detect"
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 	"blackjack/internal/queues"
 	"blackjack/internal/redundancy"
 	"blackjack/internal/rename"
@@ -108,6 +109,18 @@ type Machine struct {
 	tracer     *Tracer
 	shuffleObs ShuffleObserver
 
+	// Observability (internal/obs). All nil when disabled: the hot-path
+	// hooks are single nil checks, and like the tracer none of this state
+	// survives a Snapshot/Fork (trace state is not machine state). The
+	// histogram handles are resolved once in initObs so per-cycle sampling
+	// never touches the registry maps.
+	otr     *obs.Tracer
+	metrics *obs.Registry
+	hIQ     *obs.Histogram
+	hDTQ    *obs.Histogram
+	hBOQ    *obs.Histogram
+	hLVQ    *obs.Histogram
+
 	events eventHeap
 	cycle  int64
 	gseq   uint64
@@ -166,6 +179,57 @@ type ShuffleObserver func(cycle int64, in []*core.Entry, out []core.Packet)
 // DTQ-bearing modes (BlackJack, BlackJack-NS); a nil observer costs nothing.
 func WithShuffleObserver(obs ShuffleObserver) Option {
 	return func(m *Machine) { m.shuffleObs = obs }
+}
+
+// WithObsTracer attaches a structured event tracer (internal/obs): every
+// stage transition, shuffle, and squash is recorded as an obs.Event. A nil
+// tracer costs one pointer check per hook.
+func WithObsTracer(t *obs.Tracer) Option { return func(m *Machine) { m.otr = t } }
+
+// WithMetrics attaches a metrics registry: the machine samples queue
+// occupancy (issue queue, DTQ, BOQ, LVQ) into registry histograms every
+// cycle. Final Stats counters are exported separately via Stats.Export.
+// The registry must not be shared with a concurrently running machine.
+func WithMetrics(r *obs.Registry) Option { return func(m *Machine) { m.metrics = r } }
+
+// Occupancy-histogram bucket bounds, sized to the Table 1 queues.
+var (
+	iqOccBounds    = []float64{0, 4, 8, 16, 24, 32, 48, 64}
+	queueOccBounds = []float64{0, 2, 4, 8, 16, 32, 64, 128}
+)
+
+// initObs resolves the occupancy-histogram handles on the attached
+// registry. Called at the end of New and after Fork applies options, when
+// the machine's queues exist.
+func (m *Machine) initObs() {
+	if m.metrics == nil {
+		return
+	}
+	m.hIQ = m.metrics.Histogram("pipeline.iq.occupancy", iqOccBounds)
+	if m.dtq != nil {
+		m.hDTQ = m.metrics.Histogram("pipeline.dtq.depth", queueOccBounds)
+	}
+	if m.boq != nil {
+		m.hBOQ = m.metrics.Histogram("pipeline.boq.depth", queueOccBounds)
+	}
+	if m.lvq != nil {
+		m.hLVQ = m.metrics.Histogram("pipeline.lvq.depth", queueOccBounds)
+	}
+}
+
+// sampleDepths records the cycle's queue occupancies. Only called with
+// metrics attached.
+func (m *Machine) sampleDepths() {
+	m.hIQ.Observe(float64(len(m.iq)))
+	if m.hDTQ != nil {
+		m.hDTQ.Observe(float64(m.dtq.Len()))
+	}
+	if m.hBOQ != nil {
+		m.hBOQ.Observe(float64(m.boq.Len()))
+	}
+	if m.hLVQ != nil {
+		m.hLVQ.Observe(float64(m.lvq.Len()))
+	}
 }
 
 // New builds a machine ready to run prog in the given mode.
@@ -267,6 +331,7 @@ func New(cfg Config, mode Mode, prog *isa.Program, opts ...Option) (*Machine, er
 			}
 		}
 	}
+	m.initObs()
 	return m, nil
 }
 
@@ -318,6 +383,9 @@ func (m *Machine) Tick() {
 	m.issueStage()
 	m.dispatchStage()
 	m.fetchStage()
+	if m.metrics != nil {
+		m.sampleDepths()
+	}
 	m.stats.Cycles = m.cycle
 }
 

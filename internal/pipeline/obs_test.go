@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"testing"
+
+	"blackjack/internal/obs"
+	"blackjack/internal/prog"
+)
+
+func TestObsTracerRecordsStageEvents(t *testing.T) {
+	p := sumProgram(20)
+	tr := obs.NewTracer(1 << 14)
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithObsTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(1 << 20)
+	if st.Deadlocked {
+		t.Fatal("deadlocked")
+	}
+	if tr.Total() == 0 {
+		t.Fatal("no obs events recorded")
+	}
+	var kinds [obs.NumKinds]int
+	for _, e := range tr.Events() {
+		kinds[e.Kind]++
+	}
+	for _, k := range []obs.Kind{obs.KindFetch, obs.KindDispatch, obs.KindIssue, obs.KindWriteback, obs.KindCommit} {
+		if kinds[k] == 0 {
+			t.Errorf("no %v events", k)
+		}
+	}
+	// Redundant modes emit both threads' copies.
+	both := [2]bool{}
+	for _, e := range tr.Events() {
+		if e.Thread == 0 || e.Thread == 1 {
+			both[e.Thread] = true
+		}
+	}
+	if !both[0] || !both[1] {
+		t.Error("missing a thread's events")
+	}
+}
+
+func TestObsShuffleEventsCarryPacketSizes(t *testing.T) {
+	p := prog.MustBenchmark("gcc")
+	tr := obs.NewTracer(1 << 14)
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithObsTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Run(2000)
+	found := false
+	for _, e := range tr.Events() {
+		if e.Kind == obs.KindShuffle {
+			found = true
+			in := e.Arg >> 32         // instructions in the leading packet
+			out := e.Arg & 0xffffffff // trailing packets after splitting
+			if in == 0 || out == 0 {
+				t.Fatalf("shuffle event with empty side: in=%d out=%d", in, out)
+			}
+		}
+	}
+	if !found {
+		t.Error("no shuffle events in BlackJack mode")
+	}
+}
+
+func TestMetricsHistogramsSampled(t *testing.T) {
+	p := prog.MustBenchmark("gcc")
+	reg := obs.NewRegistry()
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(5000)
+	h := reg.HistogramByName("pipeline.iq.occupancy")
+	if h == nil || h.Count() == 0 {
+		t.Fatal("IQ occupancy histogram not sampled")
+	}
+	if h.Count() != uint64(st.Cycles) {
+		t.Errorf("IQ samples = %d, want one per cycle (%d)", h.Count(), st.Cycles)
+	}
+	// BlackJack runs a DTQ and LVQ; the BOQ is SRT-only.
+	for _, name := range []string{"pipeline.dtq.depth", "pipeline.lvq.depth"} {
+		if q := reg.HistogramByName(name); q == nil || q.Count() == 0 {
+			t.Errorf("%s not sampled", name)
+		}
+	}
+	if reg.HistogramByName("pipeline.boq.depth") != nil {
+		t.Error("BOQ histogram registered in BlackJack mode")
+	}
+
+	srtReg := obs.NewRegistry()
+	ms, err := New(DefaultConfig(), ModeSRT, p, WithMetrics(srtReg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms.Run(5000)
+	if q := srtReg.HistogramByName("pipeline.boq.depth"); q == nil || q.Count() == 0 {
+		t.Error("pipeline.boq.depth not sampled in SRT mode")
+	}
+}
+
+// TestObsStateNotForked pins down that observability sinks are harness state,
+// not machine state: a fork without its own WithObsTracer/WithMetrics must not
+// keep feeding the parent's.
+func TestObsStateNotForked(t *testing.T) {
+	p := prog.MustBenchmark("gcc")
+	tr := obs.NewTracer(1 << 14)
+	reg := obs.NewRegistry()
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithObsTracer(tr), WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Snapshot mid-run (like campaign warmups do) so forks still have
+	// instructions left in their budget.
+	var cp *Checkpoint
+	m.RunWithCheckpoints(2000, 500, func(live *Machine) {
+		if cp == nil {
+			cp = live.Snapshot()
+		}
+	})
+	if cp == nil {
+		t.Fatal("no checkpoint taken")
+	}
+	before := tr.Total()
+	hBefore := reg.HistogramByName("pipeline.iq.occupancy").Count()
+
+	f := Fork(cp)
+	f.Run(2000)
+	if tr.Total() != before {
+		t.Errorf("fork leaked %d events into parent tracer", tr.Total()-before)
+	}
+	if got := reg.HistogramByName("pipeline.iq.occupancy").Count(); got != hBefore {
+		t.Errorf("fork leaked %d histogram samples into parent registry", got-hBefore)
+	}
+
+	// A fork CAN attach its own sinks.
+	tr2 := obs.NewTracer(1 << 14)
+	reg2 := obs.NewRegistry()
+	f2 := Fork(cp, WithObsTracer(tr2), WithMetrics(reg2))
+	f2.Run(2000)
+	if tr2.Total() == 0 {
+		t.Error("fork with its own tracer recorded nothing")
+	}
+	if reg2.HistogramByName("pipeline.iq.occupancy").Count() == 0 {
+		t.Error("fork with its own registry sampled nothing")
+	}
+}
+
+// TestTraceHookDisabledDoesNotAllocate guards the disabled-path contract: the
+// per-stage hook with no tracer attached must be alloc-free, and so must the
+// structured tracer path once attached.
+func TestTraceHookDisabledDoesNotAllocate(t *testing.T) {
+	p := sumProgram(20)
+	m, err := New(DefaultConfig(), ModeBlackJack, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := &UOp{Thread: 1, Seq: 42, PC: 3}
+	if allocs := testing.AllocsPerRun(1000, func() { m.trace(TraceIssue, u) }); allocs != 0 {
+		t.Errorf("disabled trace hook allocates %v per call, want 0", allocs)
+	}
+
+	m2, err := New(DefaultConfig(), ModeBlackJack, p, WithObsTracer(obs.NewTracer(64)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { m2.trace(TraceIssue, u) }); allocs != 0 {
+		t.Errorf("obs trace hook allocates %v per call, want 0", allocs)
+	}
+}

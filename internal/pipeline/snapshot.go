@@ -45,6 +45,7 @@ func Fork(cp *Checkpoint, opts ...Option) *Machine {
 	for _, opt := range opts {
 		opt(f)
 	}
+	f.initObs()
 	return f
 }
 
@@ -117,6 +118,12 @@ func (m *Machine) clone() *Machine {
 	c.oc = m.oc.Clone()
 	c.sink = m.sink.Clone()
 	c.tracer = nil
+	// Observability state is not machine state either: a fork starts with
+	// whatever tracer/registry its own options install (initObs re-resolves
+	// the histogram handles then).
+	c.otr = nil
+	c.metrics = nil
+	c.hIQ, c.hDTQ, c.hBOQ, c.hLVQ = nil, nil, nil, nil
 
 	// The completion-event heap: same order, remapped uops (the heap
 	// invariant depends only on DoneCycle/GSeq, which the copies share).

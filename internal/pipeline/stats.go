@@ -1,8 +1,12 @@
 package pipeline
 
 import (
+	"fmt"
+
 	"blackjack/internal/cache"
 	"blackjack/internal/detect"
+	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 )
 
 // Stats holds everything a run measures. The experiment harnesses derive the
@@ -130,6 +134,66 @@ func (s *Stats) TTInterferenceFrac() float64 {
 		return 0
 	}
 	return float64(s.TTInterference) / float64(s.IssueCycles)
+}
+
+// Export publishes every Stats field into the registry: raw fields as
+// counters and derived metrics as gauges. Counters accumulate, so exporting
+// several runs into one registry sums them (batch-harness semantics); on a
+// fresh registry a single run's counter values equal the Stats fields
+// exactly. Counter names are stable — EXPERIMENTS.md maps each paper figure
+// to the keys it derives from.
+func (s *Stats) Export(r *obs.Registry) {
+	set := func(name string, v uint64) { r.Counter(name).Add(v) }
+	set("pipeline.cycles", uint64(s.Cycles))
+	set("pipeline.committed.lead", s.Committed[0])
+	set("pipeline.committed.trail", s.Committed[1])
+	set("pipeline.fetched.lead", s.Fetched[0])
+	set("pipeline.fetched.trail", s.Fetched[1])
+	set("pipeline.issued.lead", s.Issued[0])
+	set("pipeline.issued.trail", s.Issued[1])
+	set("pipeline.squashed", s.Squashed)
+	set("pipeline.branches", s.Branches)
+	set("pipeline.mispredicts", s.Mispredicts)
+	set("pipeline.nops_executed", s.NOPsExecuted)
+	set("pipeline.trailing_packets", s.TrailingPackets)
+	set("pipeline.issue_cycles", s.IssueCycles)
+	set("pipeline.single_context_issue", s.SingleContextIssue)
+	set("pipeline.lt_interference", s.LTInterference)
+	set("pipeline.tt_interference", s.TTInterference)
+	set("pipeline.pairs", s.Pairs)
+	set("pipeline.fe_diverse_pairs", s.FeDiversePairs)
+	set("pipeline.be_diverse_pairs", s.BeDiversePairs)
+	for cl := isa.UnitClass(0); cl < isa.NumUnitClasses; cl++ {
+		set(fmt.Sprintf("pipeline.pairs_by_class.%v", cl), s.PairsByClass[cl])
+		set(fmt.Sprintf("pipeline.be_diverse_by_class.%v", cl), s.BeDiverseByClass[cl])
+	}
+	set("pipeline.shuffle.in_packets", s.ShuffleInPackets)
+	set("pipeline.shuffle.out_packets", s.ShuffleOutPackets)
+	set("pipeline.shuffle.splits", s.ShuffleSplits)
+	set("pipeline.shuffle.nops", s.ShuffleNOPs)
+	set("pipeline.merged_packets", s.MergedPackets)
+	set("pipeline.released_stores", s.ReleasedStores)
+	set("pipeline.store_signature", s.StoreSignature)
+	set("pipeline.detections", s.Detections)
+	deadlocked := uint64(0)
+	if s.Deadlocked {
+		deadlocked = 1
+	}
+	set("pipeline.deadlocked", deadlocked)
+	set("cache.accesses", s.Cache.Accesses)
+	set("cache.l1_misses", s.Cache.L1Misses)
+	set("cache.l2_misses", s.Cache.L2Misses)
+	set("cache.port_stalls", s.Cache.PortStall)
+
+	r.Gauge("pipeline.coverage_sum").Add(s.CoverageSum)
+	r.Gauge("pipeline.backend_coverage").Add(s.BackendCoverage)
+	r.Gauge("pipeline.ipc").Add(s.IPC())
+	r.Gauge("pipeline.coverage").Add(s.Coverage())
+	r.Gauge("pipeline.frontend_diversity").Add(s.FrontendDiversity())
+	r.Gauge("pipeline.backend_diversity").Add(s.BackendDiversity())
+	r.Gauge("pipeline.single_context_frac").Add(s.SingleContextFrac())
+	r.Gauge("pipeline.lt_interference_frac").Add(s.LTInterferenceFrac())
+	r.Gauge("pipeline.tt_interference_frac").Add(s.TTInterferenceFrac())
 }
 
 func (m *Machine) finalizeStats() {

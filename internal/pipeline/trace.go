@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 )
 
 // TraceStage names a pipeline event kind.
@@ -161,9 +162,34 @@ func cycleCol(c int64) string {
 	return fmt.Sprintf("%9d", c)
 }
 
-// trace is the machine-side hook; nil tracer short-circuits.
+// stageObsKind maps text-tracer stages onto structured event kinds.
+var stageObsKind = [6]obs.Kind{
+	TraceFetch:    obs.KindFetch,
+	TraceDispatch: obs.KindDispatch,
+	TraceIssue:    obs.KindIssue,
+	TraceComplete: obs.KindWriteback,
+	TraceCommit:   obs.KindCommit,
+	TraceSquash:   obs.KindSquash,
+}
+
+// trace is the machine-side hook; nil tracers short-circuit.
 func (m *Machine) trace(stage TraceStage, u *UOp) {
+	m.traceAt(m.cycle, stage, u)
+}
+
+// traceAt is trace with an explicit cycle, for events back-dated to when
+// they happened (fetch is recorded at dispatch but stamped with the fetch
+// cycle). It feeds both the text tracer and the structured obs tracer.
+func (m *Machine) traceAt(cycle int64, stage TraceStage, u *UOp) {
 	if m.tracer != nil {
-		m.tracer.record(m.cycle, stage, u)
+		m.tracer.record(cycle, stage, u)
+	}
+	if m.otr != nil {
+		m.otr.Record(obs.Event{
+			Cycle: cycle, Kind: stageObsKind[stage],
+			Thread: int8(u.Thread), Seq: u.Seq, PC: int64(u.PC),
+			FrontWay: int16(u.FrontWay), BackWay: int16(u.BackWay),
+			NOP: u.IsNOP,
+		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"blackjack/internal/detect"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
@@ -88,19 +89,27 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 // injectSites is the cold injection path: a fresh machine from cycle 0 with
 // the faults installed. Batch callers pass a reusable sink (Reset between
 // runs) and a shared golden oracle; nil sink means the machine allocates its
-// own, exactly the standalone behavior.
+// own, exactly the standalone behavior — and, being a single-machine run,
+// the standalone path also honors cfg.Trace/cfg.Metrics.
 func injectSites(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions, sink *detect.Sink, oracle *goldenOracle) (res InjectionResult, err error) {
 	inj := &fault.Injector{Sites: sites, SplitPayload: opts.SplitPayload}
 	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
-	if sink != nil {
+	standalone := sink == nil
+	if !standalone {
 		sink.Reset()
 		mopts = append(mopts, pipeline.WithSink(sink))
+	} else {
+		mopts = append(mopts, cfg.obsOptions()...)
 	}
 	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, mopts...)
 	if err != nil {
 		return InjectionResult{}, err
 	}
 	inj.Now = m.Cycle
+	if standalone {
+		cfg.observeDetections(m)
+		cfg.observeActivations(inj)
+	}
 	res = InjectionResult{Site: sites[0], Mode: cfg.Mode, DetectionLatency: -1}
 
 	defer func() {
@@ -115,6 +124,9 @@ func injectSites(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOpti
 	}()
 
 	st := m.Run(cfg.MaxInstructions)
+	if standalone && cfg.Metrics != nil {
+		st.Export(cfg.Metrics)
+	}
 	if cerr := classify(&res, st, inj, oracle); cerr != nil {
 		return InjectionResult{}, cerr
 	}
@@ -270,6 +282,38 @@ func Campaign(cfg Config, benchmark string, sites []fault.Site, opts InjectOptio
 	return CampaignProgram(cfg, p, sites, opts)
 }
 
+// Campaign-metrics histogram bounds: detection latency in cycles from first
+// activation to first detection, and the warmup cycle each forked run
+// resumed from.
+var (
+	detectLatencyBounds = []float64{0, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}
+	forkCycleBounds     = []float64{0, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+)
+
+// campaignWorker is one worker's reusable scratch state: a detection sink
+// reset between runs, and — with campaign metrics enabled — a private
+// registry merged into Config.Metrics after the fan-out (per-worker
+// recording plus a commutative merge keeps metrics identical at every
+// worker count).
+type campaignWorker struct {
+	sink *detect.Sink
+	reg  *obs.Registry
+}
+
+// record accumulates one classified run into the worker's registry.
+func (w *campaignWorker) record(r InjectionResult) {
+	if w.reg == nil {
+		return
+	}
+	w.reg.Counter("campaign.runs").Inc()
+	w.reg.Counter("campaign.outcome." + r.Outcome.String()).Inc()
+	w.reg.Counter("campaign.activations").Add(r.Activations)
+	w.reg.Counter("campaign.detections").Add(r.Detections)
+	if r.DetectionLatency >= 0 {
+		w.reg.Histogram("campaign.detect.latency", detectLatencyBounds).Observe(float64(r.DetectionLatency))
+	}
+}
+
 // CampaignProgram is Campaign over an explicit program. With
 // cfg.CheckpointInterval > 0 the per-site runs fork from periodic snapshots
 // of one shared fault-free warmup (see CampaignPlan); otherwise every run is
@@ -282,33 +326,50 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sim: no fault sites")
 	}
-	workers := parallel.Workers(cfg.Parallel)
-	if workers > len(sites) {
-		workers = len(sites)
-	}
-	sinks := make([]*detect.Sink, workers)
-	for i := range sinks {
-		sinks[i] = &detect.Sink{}
+	newWorker := func() *campaignWorker {
+		w := &campaignWorker{sink: &detect.Sink{}}
+		if cfg.Metrics != nil {
+			w.reg = obs.NewRegistry()
+		}
+		return w
 	}
 
-	var runOne func(worker, i int) (InjectionResult, error)
+	var runOne func(w *campaignWorker, worker, i int) (InjectionResult, error)
 	if cfg.CheckpointInterval > 0 {
 		pl, err := NewCampaignPlan(cfg, p, sites, opts)
 		if err != nil {
 			return nil, err
 		}
-		runOne = func(worker, i int) (InjectionResult, error) {
-			return pl.inject(i, i+1, sinks[worker])
+		runOne = func(w *campaignWorker, _, i int) (InjectionResult, error) {
+			r, err := pl.inject(i, i+1, w.sink, w.reg)
+			if err == nil {
+				w.record(r)
+			}
+			return r, err
 		}
 	} else {
 		oracle := newGoldenOracle(p)
-		runOne = func(worker, i int) (InjectionResult, error) {
-			return injectSites(cfg, p, sites[i:i+1], opts, sinks[worker], oracle)
+		runOne = func(w *campaignWorker, _, i int) (InjectionResult, error) {
+			r, err := injectSites(cfg, p, sites[i:i+1], opts, w.sink, oracle)
+			if err == nil {
+				if w.reg != nil {
+					w.reg.Counter("campaign.cold_runs").Inc()
+				}
+				w.record(r)
+			}
+			return r, err
 		}
 	}
-	results, err := parallel.MapWorker(cfg.Parallel, len(sites), runOne)
+	results, states, err := parallel.MapWorkerState(cfg.Parallel, len(sites), newWorker, runOne)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Metrics != nil {
+		for _, w := range states {
+			if merr := cfg.Metrics.Merge(w.reg); merr != nil {
+				return nil, merr
+			}
+		}
 	}
 	sum := &CampaignSummary{Results: results, Counts: make(map[Outcome]int)}
 	for _, r := range results {

@@ -8,6 +8,7 @@ import (
 	"blackjack/internal/detect"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 	"blackjack/internal/pipeline"
 )
 
@@ -180,7 +181,7 @@ func (pl *CampaignPlan) Inject(i int) (InjectionResult, error) {
 	if i < 0 || i >= len(pl.sites) {
 		return InjectionResult{}, fmt.Errorf("sim: site index %d out of range [0,%d)", i, len(pl.sites))
 	}
-	return pl.inject(i, i+1, nil)
+	return pl.inject(i, i+1, nil, nil)
 }
 
 // InjectRange classifies the simultaneous (uncorrelated) faults
@@ -190,12 +191,14 @@ func (pl *CampaignPlan) InjectRange(lo, hi int) (InjectionResult, error) {
 	if lo < 0 || hi > len(pl.sites) || lo >= hi {
 		return InjectionResult{}, fmt.Errorf("sim: site range [%d,%d) invalid for %d sites", lo, hi, len(pl.sites))
 	}
-	return pl.inject(lo, hi, nil)
+	return pl.inject(lo, hi, nil, nil)
 }
 
 // inject runs the subset sites[lo:hi] with a reusable sink (nil: the machine
-// allocates its own).
-func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink) (InjectionResult, error) {
+// allocates its own). A non-nil reg receives the plan's path-choice metrics
+// (warm-served / cold / forked counters and the fork-cycle histogram); batch
+// callers pass their worker's private registry.
+func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink, reg *obs.Registry) (InjectionResult, error) {
 	subset := pl.sites[lo:hi]
 	minFire := int64(-1)
 	if pl.warmValid {
@@ -208,6 +211,9 @@ func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink) (InjectionResult, 
 		if !fires {
 			// No member can ever corrupt a value: the injected run would
 			// replay the warmup cycle for cycle. Serve the warmup's result.
+			if reg != nil {
+				reg.Counter("campaign.warm_served").Inc()
+			}
 			res := InjectionResult{Site: subset[0], Mode: pl.cfg.Mode, DetectionLatency: -1}
 			if err := classify(&res, &pl.warm, &fault.Injector{}, pl.oracle); err != nil {
 				return InjectionResult{}, err
@@ -217,7 +223,14 @@ func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink) (InjectionResult, 
 	}
 	cp := pl.latestBefore(minFire)
 	if cp == nil {
+		if reg != nil {
+			reg.Counter("campaign.cold_runs").Inc()
+		}
 		return injectSites(pl.cfg, pl.prog, subset, pl.opts, sink, pl.oracle)
+	}
+	if reg != nil {
+		reg.Counter("campaign.forked_runs").Inc()
+		reg.Histogram("campaign.fork.cycle", forkCycleBounds).Observe(float64(cp.cycle))
 	}
 	return pl.forkRun(cp, lo, hi, sink)
 }

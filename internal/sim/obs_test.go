@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"blackjack/internal/obs"
+	"blackjack/internal/pipeline"
+)
+
+// campaignMetricsJSON runs the standard-sites campaign at the given worker
+// count with a fresh registry and returns the deterministic JSON export.
+func campaignMetricsJSON(t *testing.T, workers int, interval int64) []byte {
+	t.Helper()
+	cfg := Default(pipeline.ModeBlackJack, 4000)
+	cfg.Parallel = workers
+	cfg.CheckpointInterval = interval
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	sites := StandardSites(cfg.Machine)
+	sum, err := Campaign(cfg, "gcc", sites, InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("campaign.runs"); got != uint64(len(sites)) {
+		t.Fatalf("campaign.runs = %d, want %d", got, len(sites))
+	}
+	var detected uint64
+	for _, r := range sum.Results {
+		if r.Outcome == OutcomeDetected {
+			detected++
+		}
+	}
+	if got := reg.CounterValue("campaign.outcome.detected"); got != detected {
+		t.Fatalf("campaign.outcome.detected = %d, want %d", got, detected)
+	}
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCampaignMetricsDeterministic asserts the merged per-worker registries
+// are byte-identical at any worker count: every campaign metric is a
+// commutative sum, so the nondeterministic work partition must not show.
+// (Runs under -race in CI to also exercise the worker fan-out.)
+func TestCampaignMetricsDeterministic(t *testing.T) {
+	serial := campaignMetricsJSON(t, 1, 0)
+	parallel := campaignMetricsJSON(t, 8, 0)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("campaign metrics differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestCampaignMetricsDeterministicCheckpointed repeats the worker-count
+// determinism check on the checkpoint/fork path, where the warm-served, cold
+// and forked counters join the outcome counters.
+func TestCampaignMetricsDeterministicCheckpointed(t *testing.T) {
+	serial := campaignMetricsJSON(t, 1, 500)
+	parallel := campaignMetricsJSON(t, 8, 500)
+	if !bytes.Equal(serial, parallel) {
+		t.Errorf("checkpointed campaign metrics differ between 1 and 8 workers:\n--- serial ---\n%s\n--- parallel ---\n%s",
+			serial, parallel)
+	}
+}
+
+// TestRunMetricsMatchStats is the registry's ground-truth contract: a single
+// run exported into a fresh registry must reproduce pipeline.Stats exactly.
+func TestRunMetricsMatchStats(t *testing.T) {
+	cfg := Default(pipeline.ModeBlackJack, 5000)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	res, err := Run(cfg, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := res.Stats
+	checks := map[string]uint64{
+		"pipeline.cycles":           uint64(st.Cycles),
+		"pipeline.committed.lead":   st.Committed[0],
+		"pipeline.committed.trail":  st.Committed[1],
+		"pipeline.fetched.lead":     st.Fetched[0],
+		"pipeline.issued.lead":      st.Issued[0],
+		"pipeline.issued.trail":     st.Issued[1],
+		"pipeline.branches":         st.Branches,
+		"pipeline.mispredicts":      st.Mispredicts,
+		"pipeline.squashed":         st.Squashed,
+		"pipeline.pairs":            st.Pairs,
+		"pipeline.fe_diverse_pairs": st.FeDiversePairs,
+		"pipeline.be_diverse_pairs": st.BeDiversePairs,
+		"pipeline.issue_cycles":     st.IssueCycles,
+		"pipeline.lt_interference":  st.LTInterference,
+		"pipeline.tt_interference":  st.TTInterference,
+		"pipeline.released_stores":  st.ReleasedStores,
+		"pipeline.detections":       st.Detections,
+		"cache.accesses":            st.Cache.Accesses,
+		"cache.l1_misses":           st.Cache.L1Misses,
+	}
+	for name, want := range checks {
+		if got := reg.CounterValue(name); got != want {
+			t.Errorf("%s = %d, want %d (Stats field)", name, got, want)
+		}
+	}
+	if got := reg.GaugeValue("pipeline.ipc"); got != st.IPC() {
+		t.Errorf("pipeline.ipc = %v, want %v", got, st.IPC())
+	}
+	if got := reg.GaugeValue("pipeline.coverage"); got != st.Coverage() {
+		t.Errorf("pipeline.coverage = %v, want %v", got, st.Coverage())
+	}
+	h := reg.HistogramByName("pipeline.iq.occupancy")
+	if h == nil || h.Count() != uint64(st.Cycles) {
+		t.Errorf("IQ occupancy samples = %v, want one per cycle (%d)", h, st.Cycles)
+	}
+}

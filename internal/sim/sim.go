@@ -8,7 +8,10 @@ package sim
 import (
 	"fmt"
 
+	"blackjack/internal/detect"
+	"blackjack/internal/fault"
 	"blackjack/internal/isa"
+	"blackjack/internal/obs"
 	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
@@ -35,6 +38,19 @@ type Config struct {
 	// (each retained snapshot holds a full machine copy). 0 disables
 	// checkpointing.
 	CheckpointInterval int64
+	// Trace, when non-nil, records structured pipeline events of
+	// single-machine entry points (RunProgram, InjectProgram and the
+	// standalone fault paths) for Chrome-trace export. Campaign fan-out
+	// never attaches it: a trace of many interleaved machines would be
+	// meaningless and racy. Simulation results are unaffected.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives the run's metrics: the machine's
+	// occupancy histograms and the final Stats counters for single runs;
+	// campaign outcome/latency counters (merged deterministically from
+	// per-worker registries) for Campaign entry points. Must not be shared
+	// with concurrently running simulations. Simulation results are
+	// unaffected.
+	Metrics *obs.Registry
 }
 
 // Default returns a Table 1 machine in the given mode with the given budget.
@@ -85,17 +101,86 @@ func (r *Result) NormalizedPerf(baseline *Result) float64 {
 	return float64(baseline.Stats.Cycles) / float64(r.Stats.Cycles)
 }
 
+// obsOptions translates the config's observability attachments into machine
+// options.
+func (c Config) obsOptions() []pipeline.Option {
+	var opts []pipeline.Option
+	if c.Trace != nil {
+		opts = append(opts, pipeline.WithObsTracer(c.Trace))
+	}
+	if c.Metrics != nil {
+		opts = append(opts, pipeline.WithMetrics(c.Metrics))
+	}
+	return opts
+}
+
+// observeDetections wires the machine's detection sink into the config's
+// tracer and registry.
+func (c Config) observeDetections(m *pipeline.Machine) {
+	if c.Trace == nil && c.Metrics == nil {
+		return
+	}
+	var detections *obs.Counter
+	if c.Metrics != nil {
+		detections = c.Metrics.Counter("detect.events")
+	}
+	tr := c.Trace
+	m.Sink().Observer = func(e detect.Event) {
+		if tr != nil {
+			tr.Record(obs.Event{
+				Cycle: e.Cycle, Kind: obs.KindDetect, Thread: -1,
+				PC: int64(e.PC), Arg: uint64(e.Checker),
+			})
+		}
+		if detections != nil {
+			detections.Inc()
+		}
+	}
+}
+
+// observeActivations wires a fault injector's activation hook into the
+// config's tracer and registry.
+func (c Config) observeActivations(inj *fault.Injector) {
+	if c.Trace == nil && c.Metrics == nil {
+		return
+	}
+	var activations *obs.Counter
+	if c.Metrics != nil {
+		activations = c.Metrics.Counter("fault.activations")
+	}
+	tr := c.Trace
+	inj.OnActivate = func() {
+		if tr != nil {
+			var cycle int64
+			if inj.Now != nil {
+				cycle = inj.Now()
+			}
+			tr.Record(obs.Event{
+				Cycle: cycle, Kind: obs.KindFaultActivate, Thread: -1,
+				Arg: inj.Activations(),
+			})
+		}
+		if activations != nil {
+			activations.Inc()
+		}
+	}
+}
+
 // RunProgram executes one program on one machine configuration and verifies
 // the output stream against the golden model.
 func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m, err := pipeline.New(cfg.Machine, cfg.Mode, p)
+	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, cfg.obsOptions()...)
 	if err != nil {
 		return nil, err
 	}
+	cfg.observeDetections(m)
 	st := m.Run(cfg.MaxInstructions)
+	if cfg.Metrics != nil {
+		st.Export(cfg.Metrics)
+	}
 	if st.Deadlocked {
 		return nil, fmt.Errorf("sim: %s/%v wedged at cycle %d (committed %d/%d)",
 			p.Name, cfg.Mode, st.Cycles, st.Committed[0], cfg.MaxInstructions)

@@ -20,14 +20,16 @@ func NewTable(title string, cols ...string) *Table {
 	return &Table{Title: title, cols: cols}
 }
 
-// AddRow appends a row; missing cells render empty, extra cells are dropped.
+// AddRow appends a row; missing cells render empty. Passing more cells than
+// the table has columns is a programming error (the extra cells used to be
+// dropped silently, hiding builder/header mismatches) and panics.
 func (t *Table) AddRow(cells ...string) {
-	row := make([]string, len(t.cols))
-	for i := range row {
-		if i < len(cells) {
-			row[i] = cells[i]
-		}
+	if len(cells) > len(t.cols) {
+		panic(fmt.Sprintf("stats: AddRow: %d cells for %d columns in table %q",
+			len(cells), len(t.cols), t.Title))
 	}
+	row := make([]string, len(t.cols))
+	copy(row, cells)
 	t.rows = append(t.rows, row)
 }
 

@@ -28,17 +28,30 @@ func TestTableRendering(t *testing.T) {
 	}
 }
 
-func TestTableMissingAndExtraCells(t *testing.T) {
+func TestTableMissingCells(t *testing.T) {
 	tb := NewTable("", "a", "b")
-	tb.AddRow("x")              // missing cell
-	tb.AddRow("y", "z", "junk") // extra cell dropped
-	out := tb.String()
-	if strings.Contains(out, "junk") {
-		t.Error("extra cell should be dropped")
+	tb.AddRow("x") // missing cell renders empty
+	if tb.NumRows() != 1 {
+		t.Errorf("NumRows = %d, want 1", tb.NumRows())
 	}
-	if tb.NumRows() != 2 {
-		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	if out := tb.String(); !strings.Contains(out, "x") {
+		t.Errorf("missing row:\n%s", out)
 	}
+}
+
+func TestTableExtraCellsPanic(t *testing.T) {
+	tb := NewTable("Demo", "a", "b")
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("AddRow with extra cells did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "3 cells for 2 columns") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	tb.AddRow("y", "z", "junk")
 }
 
 func TestFormatHelpers(t *testing.T) {

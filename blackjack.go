@@ -149,11 +149,47 @@ const (
 
 // Fault run outcomes.
 const (
-	OutcomeBenign   = sim.OutcomeBenign
-	OutcomeDetected = sim.OutcomeDetected
-	OutcomeSilent   = sim.OutcomeSilent
-	OutcomeWedged   = sim.OutcomeWedged
+	OutcomeBenign      = sim.OutcomeBenign
+	OutcomeDetected    = sim.OutcomeDetected
+	OutcomeSilent      = sim.OutcomeSilent
+	OutcomeWedged      = sim.OutcomeWedged
+	OutcomeQuarantined = sim.OutcomeQuarantined
 )
+
+// Resilience and crash recovery.
+type (
+	// Resilience tunes per-run isolation, wall-clock budgets, retries and
+	// the hung-worker watchdog of campaign entry points. Attach via
+	// Config.Resilience.
+	Resilience = sim.Resilience
+	// RunFailure describes one quarantined campaign run, including the
+	// command that reproduces it standalone.
+	RunFailure = sim.RunFailure
+	// CampaignJournal is the durable completed-run log of a fault campaign;
+	// attach via Config.Journal to make the campaign crash-resumable.
+	CampaignJournal = sim.CampaignJournal
+	// FuzzJournal is the durable completed-program log of a fuzz session;
+	// attach via FuzzOptions.Journal.
+	FuzzJournal = diffcheck.FuzzJournal
+	// DeadlockError is returned by single-run entry points when the machine
+	// wedges before exhausting its instruction budget.
+	DeadlockError = sim.DeadlockError
+	// InterruptedError is returned when a run is stopped by its context or
+	// per-run wall-clock budget.
+	InterruptedError = sim.InterruptedError
+)
+
+// OpenCampaignJournal opens (creating or resuming) the campaign journal at
+// path. The header key binds it to the exact campaign identity; resuming
+// with a different program, mode, budget or site list is refused.
+func OpenCampaignJournal(path string, cfg Config, benchmark string, sites []FaultSite, opts InjectOptions) (*CampaignJournal, error) {
+	return sim.OpenCampaignJournal(path, cfg, benchmark, sites, opts)
+}
+
+// OpenFuzzJournal opens (creating or resuming) the fuzz journal at path.
+func OpenFuzzJournal(path string, opts FuzzOptions) (*FuzzJournal, error) {
+	return diffcheck.OpenFuzzJournal(path, opts)
+}
 
 // Inject runs a benchmark with one hard fault installed.
 func Inject(cfg Config, benchmark string, site FaultSite, opts InjectOptions) (InjectionResult, error) {

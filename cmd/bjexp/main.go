@@ -6,13 +6,24 @@
 //	bjexp -exp all -n 300000
 //	bjexp -exp fig7
 //	bjexp -exp exta -bench gcc
+//	bjexp -exp exta -journal-dir /tmp/bjexp    # crash-resumable campaigns
+//
+// With -journal-dir, every fault campaign inside the experiment journals its
+// completed runs; an interrupted invocation re-run with the same directory
+// resumes instead of recomputing. -isolate quarantines panicking or
+// over-budget cells (with repro commands) and renders partial tables over the
+// remaining benchmarks.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"blackjack/internal/experiments"
 	"blackjack/internal/obs"
@@ -39,6 +50,11 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		journalDir = flag.String("journal-dir", "", "journal every fault campaign's completed runs into this directory; re-running with the same directory resumes")
+		isolate    = flag.Bool("isolate", false, "quarantine panicking or over-budget runs/cells (with repro commands) instead of aborting the experiment")
+		retries    = flag.Int("retries", 0, "re-run a failing campaign injection up to this many times with doubling budgets before quarantining it")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = unbudgeted); exceeded runs are quarantined when -isolate is set")
+
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of one representative run (-bench under blackjack mode at the suite budget) to this file")
 		metricsOut = flag.String("metrics-out", "", "write the experiment's merged metrics registry as JSON to this file")
 	)
@@ -50,10 +66,26 @@ func main() {
 	}
 	defer stopProf()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	opts := experiments.DefaultOptions()
 	opts.Instructions = *n
 	opts.Parallel = *par
 	opts.CheckpointInterval = *ckpt
+	opts.Ctx = ctx
+	opts.JournalDir = *journalDir
+	opts.Resilience = sim.Resilience{
+		Isolate:    *isolate,
+		Retries:    *retries,
+		RunTimeout: *runTimeout,
+		StallAfter: 30 * time.Second,
+	}
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
 	}
@@ -153,9 +185,30 @@ func mustSuite(opts experiments.Options) *experiments.Suite {
 		len(opts.Benchmarks), opts.Instructions)
 	s, err := experiments.RunSuite(opts)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
+	}
+	if len(s.Failures) > 0 {
+		// Figures below aggregate only over benchmarks whose every cell
+		// succeeded; list what was dropped and how to reproduce it.
+		fmt.Fprintf(os.Stderr, "bjexp: %d cells quarantined; figures aggregate the remaining complete benchmarks\n", len(s.Failures))
+		s.FailuresTable().Render(os.Stdout)
+		fmt.Println()
 	}
 	return s
+}
+
+// fatalCampaign handles an experiment error, turning a SIGINT cancellation
+// into the conventional 130 exit with a resume hint when runs were journaled.
+func fatalCampaign(err error, opts experiments.Options) {
+	if errors.Is(err, context.Canceled) {
+		if opts.JournalDir != "" {
+			fmt.Fprintf(os.Stderr, "bjexp: interrupted; completed campaign runs journaled under %s; re-run with the same -journal-dir to resume\n", opts.JournalDir)
+		} else {
+			fmt.Fprintln(os.Stderr, "bjexp: interrupted")
+		}
+		os.Exit(130)
+	}
+	fatal(err)
 }
 
 func renderFromSuite(s *experiments.Suite, exp string) {
@@ -195,7 +248,7 @@ func runExtA(opts experiments.Options, bench string) {
 	campaign.Instructions = min(opts.Instructions, 30_000)
 	rows, err := experiments.ExtAFaultInjection(campaign, bench)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtATable(rows, bench).Render(os.Stdout)
 }
@@ -205,7 +258,7 @@ func runExtC(opts experiments.Options) {
 	campaign.Instructions = min(opts.Instructions, 20_000)
 	rows, err := experiments.ExtCPayloadRAM(campaign, []string{"gzip", "equake"})
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtCTable(rows).Render(os.Stdout)
 }
@@ -213,7 +266,7 @@ func runExtC(opts experiments.Options) {
 func runExtD(opts experiments.Options, bench string) {
 	rows, err := experiments.ExtDSweep(opts, bench, nil, nil)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtDTable(rows).Render(os.Stdout)
 }
@@ -221,7 +274,7 @@ func runExtD(opts experiments.Options, bench string) {
 func runExtE(opts experiments.Options) {
 	rows, err := experiments.ExtEMergingShuffle(opts, nil)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtETable(rows).Render(os.Stdout)
 }
@@ -231,7 +284,7 @@ func runExtF(opts experiments.Options, bench string) {
 	campaign.Instructions = min(opts.Instructions, 20_000)
 	rows, err := experiments.ExtFMultiFault(campaign, bench, 3)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtFTable(rows, bench).Render(os.Stdout)
 }
@@ -241,7 +294,7 @@ func runExtG(opts experiments.Options, bench string) {
 	campaign.Instructions = min(opts.Instructions, 30_000)
 	rows, err := experiments.ExtGSoftErrors(campaign, bench)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtGTable(rows, bench).Render(os.Stdout)
 }
@@ -254,7 +307,7 @@ func runExtH(opts experiments.Options) {
 	study.Instructions = min(opts.Instructions, 60_000)
 	rows, err := experiments.ExtHSeedRobustness(study, nil)
 	if err != nil {
-		fatal(err)
+		fatalCampaign(err, opts)
 	}
 	experiments.ExtHTable(rows, study.Benchmarks).Render(os.Stdout)
 }

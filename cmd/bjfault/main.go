@@ -8,12 +8,22 @@
 //	bjfault -bench gcc -mode blackjack -n 30000             # standard campaign
 //	bjfault -bench gcc -mode srt -site frontend -way 1      # one site
 //	bjfault -bench gzip -mode blackjack -compare            # srt vs blackjack
+//	bjfault -bench gcc -n 30000 -site-index 12              # replay one campaign run
+//	bjfault -bench gcc -journal gcc.journal                 # crash-resumable campaign
+//
+// A campaign run with -journal survives crashes and SIGINT: re-running the
+// same command with -resume skips every completed injection. SIGINT is a
+// graceful shutdown — in-flight runs drain, completed records are flushed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"blackjack"
 	"blackjack/internal/fault"
@@ -39,6 +49,13 @@ func main() {
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
+		siteIndex  = flag.Int("site-index", -1, "replay run i of the standard campaign site list (the index quarantine repro commands print)")
+		journal    = flag.String("journal", "", "journal completed campaign runs to this file (fsync'd batches; campaigns only)")
+		resume     = flag.Bool("resume", false, "resume from an existing -journal file instead of starting fresh")
+		isolate    = flag.Bool("isolate", false, "quarantine panicking or over-budget runs (with repro commands) instead of aborting the campaign")
+		retries    = flag.Int("retries", 0, "re-run a failing injection up to this many times with doubling budgets before quarantining it")
+		runTimeout = flag.Duration("run-timeout", 0, "per-run wall-clock budget (0 = unbudgeted); exceeded runs are quarantined when -isolate is set")
+
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (single -site runs only)")
 		metricsOut = flag.String("metrics-out", "", "write campaign/run metrics as JSON to this file")
 	)
@@ -54,9 +71,18 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	cfg := blackjack.DefaultConfig(m, *n)
 	cfg.Parallel = *par
 	cfg.CheckpointInterval = *ckpt
+	cfg.Ctx = ctx
+	cfg.Resilience = blackjack.Resilience{
+		Isolate:    *isolate,
+		Retries:    *retries,
+		RunTimeout: *runTimeout,
+		StallAfter: 30 * time.Second,
+	}
 	opts := blackjack.InjectOptions{SplitPayload: *split}
 
 	if *traceOut != "" && *site == "" {
@@ -71,6 +97,20 @@ func main() {
 	if *metricsOut != "" {
 		metrics = blackjack.NewMetrics()
 		cfg.Metrics = metrics
+	}
+
+	if *siteIndex >= 0 {
+		sites := blackjack.StandardFaultSites(cfg.Machine)
+		if *siteIndex >= len(sites) {
+			fatal(fmt.Errorf("-site-index %d out of range [0,%d)", *siteIndex, len(sites)))
+		}
+		r, err := blackjack.Inject(cfg, *bench, sites[*siteIndex], opts)
+		if err != nil {
+			fatal(err)
+		}
+		printOne(r)
+		writeMetrics(*metricsOut, metrics)
+		return
 	}
 
 	if *site != "" {
@@ -97,13 +137,22 @@ func main() {
 		for _, mm := range []blackjack.Mode{blackjack.ModeSRT, blackjack.ModeBlackJack} {
 			c := cfg
 			c.Mode = mm
-			runCampaign(c, *bench, sites, opts)
+			runCampaign(c, *bench, sites, opts, journalPath(*journal, "-"+mm.String()), *resume, *metricsOut, metrics)
 		}
 		writeMetrics(*metricsOut, metrics)
 		return
 	}
-	runCampaign(cfg, *bench, sites, opts)
+	runCampaign(cfg, *bench, sites, opts, *journal, *resume, *metricsOut, metrics)
 	writeMetrics(*metricsOut, metrics)
+}
+
+// journalPath derives a per-mode journal name for -compare runs (each mode
+// campaign has a distinct identity and needs its own journal).
+func journalPath(base, suffix string) string {
+	if base == "" {
+		return ""
+	}
+	return base + suffix
 }
 
 // writeMetrics writes the registry if the flag was given; campaigns merge
@@ -118,19 +167,54 @@ func writeMetrics(path string, m *blackjack.Metrics) {
 	fmt.Printf("metrics written to %s\n", path)
 }
 
-func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite, opts blackjack.InjectOptions) {
+func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite, opts blackjack.InjectOptions, journal string, resume bool, metricsOut string, metrics *blackjack.Metrics) {
+	if journal != "" {
+		if !resume {
+			if err := os.Remove(journal); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		cj, err := blackjack.OpenCampaignJournal(journal, cfg, bench, sites, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer cj.Close()
+		cfg.Journal = cj
+	}
 	sum, err := blackjack.Campaign(cfg, bench, sites, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && journal != "" {
+			// Partial results are durable: flush metrics and point at -resume.
+			writeMetrics(metricsOut, metrics)
+			fmt.Fprintf(os.Stderr, "bjfault: interrupted; completed runs journaled to %s; re-run with -resume to continue\n", journal)
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	fmt.Printf("== %s on %q: %d sites ==\n", cfg.Mode, bench, len(sites))
 	for _, r := range sum.Results {
 		printOne(r)
 	}
-	fmt.Printf("summary: %d activated, detection rate %.1f%% (detected %d, silent %d, benign %d, wedged %d)\n\n",
+	fmt.Printf("summary: %d activated, detection rate %.1f%% (detected %d, silent %d, benign %d, wedged %d, quarantined %d)\n\n",
 		sum.ActiveRuns, 100*sum.DetectionRate(),
 		sum.Counts[blackjack.OutcomeDetected], sum.Counts[blackjack.OutcomeSilent],
-		sum.Counts[blackjack.OutcomeBenign], sum.Counts[blackjack.OutcomeWedged])
+		sum.Counts[blackjack.OutcomeBenign], sum.Counts[blackjack.OutcomeWedged],
+		sum.Counts[blackjack.OutcomeQuarantined])
+	// Operational annotations go to stderr so stdout tables stay
+	// byte-identical across fresh, resumed and retried sessions.
+	if sum.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "bjfault: %d runs resumed from journal, %d executed\n", sum.Resumed, len(sum.Results)-sum.Resumed)
+	}
+	if sum.Retried > 0 {
+		fmt.Fprintf(os.Stderr, "bjfault: %d retries\n", sum.Retried)
+	}
+	if sum.WatchdogStalls > 0 {
+		fmt.Fprintf(os.Stderr, "bjfault: watchdog reported %d stalled workers\n", sum.WatchdogStalls)
+	}
+	for _, f := range sum.Quarantined {
+		fmt.Fprintf(os.Stderr, "bjfault: quarantined run %d (%s after %d attempts): %s\n  repro: %s\n",
+			f.Index, f.Reason, f.Attempts, f.Detail, f.Repro)
+	}
 }
 
 func printOne(r blackjack.InjectionResult) {

@@ -15,12 +15,20 @@
 //	bjfuzz -matrix                         # fault-coverage matrix
 //	bjfuzz -replay internal/diffcheck/testdata/corpus
 //	bjfuzz -emit-corpus 8 -corpus-dir internal/diffcheck/testdata/corpus
+//	bjfuzz -n 5000 -journal fuzz.journal   # crash-resumable session
+//
+// A fuzzing run with -journal survives crashes and SIGINT: re-running the
+// same command with -resume skips every completed program (at any -parallel
+// value, and even under a larger -n).
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"blackjack"
@@ -45,6 +53,9 @@ func main() {
 		emitCorpus = flag.Int("emit-corpus", 0, "write this many generator seeds as corpus files and exit")
 		corpusDir  = flag.String("corpus-dir", "internal/diffcheck/testdata/corpus", "corpus directory for -emit-corpus")
 
+		journal = flag.String("journal", "", "journal completed programs to this file (fsync'd batches; fuzzing runs only)")
+		resume  = flag.Bool("resume", false, "resume from an existing -journal file instead of starting fresh")
+
 		metricsOut = flag.String("metrics-out", "", "write the campaign's summary counters as metrics JSON to this file (fuzzing runs only)")
 	)
 	flag.Parse()
@@ -57,7 +68,7 @@ func main() {
 	case *emitCorpus > 0:
 		runEmit(*emitCorpus, *seed, *corpusDir)
 	default:
-		runFuzz(*n, *seed, *maxInstr, *variant, *par, !*noShrink, *reproDir, *metricsOut)
+		runFuzz(*n, *seed, *maxInstr, *variant, *par, !*noShrink, *reproDir, *journal, *resume, *metricsOut)
 	}
 }
 
@@ -79,13 +90,16 @@ func writeFuzzMetrics(path string, sum *blackjack.FuzzSummary) {
 	fmt.Printf("bjfuzz: wrote metrics to %s\n", path)
 }
 
-func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shrink bool, reproDir, metricsOut string) {
+func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shrink bool, reproDir, journal string, resume bool, metricsOut string) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 	opts := diffcheck.FuzzOptions{
 		Programs: n,
 		Seed:     seed,
 		MaxInstr: maxInstr,
 		Workers:  par,
 		Shrink:   shrink,
+		Ctx:      ctx,
 	}
 	if variantName != "" {
 		v, err := diffcheck.VariantByName(variantName)
@@ -94,9 +108,31 @@ func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shri
 		}
 		opts.Variant = &v
 	}
+	if journal != "" {
+		if !resume {
+			if err := os.Remove(journal); err != nil && !os.IsNotExist(err) {
+				fatal(err)
+			}
+		}
+		fj, err := diffcheck.OpenFuzzJournal(journal, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer fj.Close()
+		opts.Journal = fj
+	}
 	sum, err := diffcheck.Fuzz(opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) && journal != "" {
+			// Completed programs are durable: point at -resume and exit with
+			// the conventional SIGINT status.
+			fmt.Fprintf(os.Stderr, "bjfuzz: interrupted; completed programs journaled to %s; re-run with -resume to continue\n", journal)
+			os.Exit(130)
+		}
 		fatal(err)
+	}
+	if sum.Resumed > 0 {
+		fmt.Fprintf(os.Stderr, "bjfuzz: %d programs resumed from journal, %d executed\n", sum.Resumed, sum.Programs-sum.Resumed)
 	}
 	fmt.Printf("bjfuzz: %d programs, %d variant runs, %d shuffle calls (%d DTQ entries) validated\n",
 		sum.Programs, sum.Runs, sum.Shuffles, sum.Entries)

@@ -1,12 +1,16 @@
 // Command bjsim runs one benchmark on one machine configuration and prints
 // detailed statistics.
 //
+// Exit codes: 0 success, 1 usage or simulation error, 3 the machine
+// deadlocked before exhausting its instruction budget.
+//
 // Usage:
 //
 //	bjsim -bench gzip -mode blackjack -n 300000
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +35,8 @@ func main() {
 		traceEvents = flag.Int("trace-events", 0, "structured-trace ring capacity in events (0 = 65536); the ring keeps the last N events")
 		metricsOut  = flag.String("metrics-out", "", "write the run's metrics registry as JSON to this file")
 
+		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget for the run (0 = unbudgeted); an exceeded budget exits non-zero")
+
 		allModes = flag.Bool("all-modes", false, "run all four modes concurrently and print each result")
 		par      = flag.Int("parallel", 0, "worker pool size for batch entry points (0 = NumCPU; a plain single run always uses one machine)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -54,6 +60,7 @@ func main() {
 	}
 	cfg := blackjack.DefaultConfig(m, *n)
 	cfg.Parallel = *par
+	cfg.Resilience = blackjack.Resilience{RunTimeout: *runTimeout}
 	if *slack > 0 {
 		cfg.Machine.Slack = *slack
 	}
@@ -95,6 +102,14 @@ func main() {
 	}
 	res, err := blackjack.Run(cfg, *bench)
 	if err != nil {
+		// A deadlock is a distinct, scriptable failure: the machine wedged
+		// before exhausting its budget (the condition campaigns classify as
+		// OutcomeWedged).
+		var dead *blackjack.DeadlockError
+		if errors.As(err, &dead) {
+			fmt.Fprintln(os.Stderr, "bjsim:", err)
+			os.Exit(3)
+		}
 		fatal(err)
 	}
 	printResult(res)

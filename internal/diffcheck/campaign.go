@@ -1,6 +1,7 @@
 package diffcheck
 
 import (
+	"context"
 	"fmt"
 
 	"blackjack/internal/isa"
@@ -34,6 +35,15 @@ type FuzzOptions struct {
 	// ShrinkTests bounds candidate evaluations per minimization (<= 0
 	// selects the Minimize default).
 	ShrinkTests int
+	// Ctx, when non-nil, cancels the campaign: in-flight programs finish,
+	// no new ones start, completed records are flushed to the journal, and
+	// the context's error is returned. nil means uncancellable.
+	Ctx context.Context
+	// Journal, when non-nil, records every completed program so an
+	// interrupted campaign resumes where it stopped (see OpenFuzzJournal).
+	// Resumed programs replay their journaled contribution instead of
+	// re-running, and the summary is identical to an uninterrupted one.
+	Journal *FuzzJournal
 }
 
 func (o *FuzzOptions) withDefaults() FuzzOptions {
@@ -70,6 +80,7 @@ type FuzzSummary struct {
 	Runs     int    // variant runs performed
 	Shuffles uint64 // shuffle invocations validated
 	Entries  uint64 // DTQ entries through the invariant checker
+	Resumed  int    // programs replayed from the journal, not re-run
 	Failures []Failure
 }
 
@@ -111,82 +122,152 @@ func PadNops(p *isa.Program, k int) *isa.Program {
 	return &q
 }
 
+// fuzzTestHook, when non-nil, runs inside every panic-isolation boundary:
+// with the program index on the live check path, and with i == -1 per
+// minimization candidate. Test seam for injecting harness faults.
+var fuzzTestHook func(i int, p *isa.Program)
+
+// checkOne runs one generated program through the configured checks. A
+// panic anywhere in the checking machinery is recovered into a "panic"
+// divergence on the harness pseudo-variant: the program is then a recorded
+// failure (minimized like any other) instead of aborting the campaign.
+func checkOne(o FuzzOptions, i int, p *isa.Program) (rec fuzzRecord) {
+	defer func() {
+		if r := recover(); r != nil {
+			rec.Divergences = append(rec.Divergences, panicDivergence(r))
+		}
+	}()
+	if fuzzTestHook != nil {
+		fuzzTestHook(i, p)
+	}
+	var rep *ProgramReport
+	if o.Variant != nil {
+		rep = CheckVariantProgram(o.Machine, *o.Variant, p, o.MaxInstr)
+	} else {
+		rep = CheckProgram(o.Machine, p, o.MaxInstr)
+	}
+	rec.Divergences = rep.Divergences
+	for _, vr := range rep.Variants {
+		rec.Runs++
+		rec.Shuffles += vr.Shuffles
+		rec.Entries += vr.ShuffleEntries
+	}
+	// Metamorphic NOP padding on every fourth program, checked under
+	// full BlackJack (the configuration most sensitive to packet shape).
+	if i%4 == 0 && o.Variant == nil {
+		padded := PadNops(p, 1+i%3)
+		vr := RunVariant(o.Machine, Variant{Name: "blackjack+nops", Mode: pipeline.ModeBlackJack}, padded, o.MaxInstr)
+		rec.Runs++
+		rec.Shuffles += vr.Shuffles
+		rec.Divergences = append(rec.Divergences, vr.Divergences...)
+	}
+	return rec
+}
+
+// shrinkOne minimizes a failing program. A candidate that panics the
+// checker still reproduces the failure, so the predicate treats a panic as
+// "fails" — delta debugging then minimizes panic-inducing programs too.
+func shrinkOne(o FuzzOptions, p *isa.Program) *isa.Program {
+	fails := func(cand *isa.Program) (failed bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				failed = true
+			}
+		}()
+		if fuzzTestHook != nil {
+			fuzzTestHook(-1, cand)
+		}
+		if o.Variant != nil {
+			return CheckVariantProgram(o.Machine, *o.Variant, cand, o.MaxInstr).Failed()
+		}
+		return CheckProgram(o.Machine, cand, o.MaxInstr).Failed()
+	}
+	return Minimize(p, fails, o.ShrinkTests)
+}
+
 // Fuzz runs the campaign: generate programs, check every one under every
 // variant (or the selected one) against the oracle and the structural
 // invariants, run the NOP-padding metamorphic variant on a quarter of the
-// programs, and minimize any failures.
+// programs, and minimize any failures. With a Journal attached, completed
+// programs are durable and a re-run resumes instead of repeating them.
 func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 	o := opts.withDefaults()
 
 	type outcome struct {
-		seed     uint64
-		source   string
-		program  *isa.Program
-		runs     int
-		shuffles uint64
-		entries  uint64
-		divs     []Divergence
+		rec       fuzzRecord
+		program   *isa.Program // nil on the replay path until a failure needs it
+		minimized *isa.Program // live-path Minimize result; replay decodes rec.Minimized
+		resumed   bool
 	}
 
-	results, err := parallel.Map(o.Workers, o.Programs, func(i int) (*outcome, error) {
+	results, err := parallel.MapCtx(o.Ctx, o.Workers, o.Programs, func(i int) (*outcome, error) {
+		if o.Journal != nil {
+			if rec, ok := o.Journal.done[i]; ok {
+				return &outcome{rec: rec, resumed: true}, nil
+			}
+		}
 		p, source, err := GenerateProgram(o.Seed, i)
 		if err != nil {
 			return nil, fmt.Errorf("diffcheck: program %d: %w", i, err)
 		}
-		out := &outcome{seed: prog.DeriveSeed(o.Seed, uint64(i)), source: source, program: p}
-		var rep *ProgramReport
-		if o.Variant != nil {
-			rep = CheckVariantProgram(o.Machine, *o.Variant, p, o.MaxInstr)
-		} else {
-			rep = CheckProgram(o.Machine, p, o.MaxInstr)
+		out := &outcome{program: p}
+		out.rec = checkOne(o, i, p)
+		out.rec.Seed = prog.DeriveSeed(o.Seed, uint64(i))
+		out.rec.Source = source
+		if len(out.rec.Divergences) > 0 && o.Shrink {
+			out.minimized = shrinkOne(o, p)
+			if enc, err := EncodeProgram(out.minimized); err == nil {
+				out.rec.Minimized = enc
+			}
 		}
-		out.divs = rep.Divergences
-		for _, vr := range rep.Variants {
-			out.runs++
-			out.shuffles += vr.Shuffles
-			out.entries += vr.ShuffleEntries
-		}
-		// Metamorphic NOP padding on every fourth program, checked under
-		// full BlackJack (the configuration most sensitive to packet shape).
-		if i%4 == 0 && o.Variant == nil {
-			padded := PadNops(p, 1+i%3)
-			vr := RunVariant(o.Machine, Variant{Name: "blackjack+nops", Mode: pipeline.ModeBlackJack}, padded, o.MaxInstr)
-			out.runs++
-			out.shuffles += vr.Shuffles
-			out.divs = append(out.divs, vr.Divergences...)
+		if o.Journal != nil {
+			if err := o.Journal.j.Append(i, out.rec); err != nil {
+				return nil, fmt.Errorf("diffcheck: journal program %d: %w", i, err)
+			}
 		}
 		return out, nil
 	})
 	if err != nil {
+		// Flush completed records so a cancelled campaign resumes cleanly.
+		if o.Journal != nil {
+			o.Journal.Sync()
+		}
 		return nil, err
+	}
+	if o.Journal != nil {
+		if serr := o.Journal.Sync(); serr != nil {
+			return nil, serr
+		}
 	}
 
 	sum := &FuzzSummary{Programs: o.Programs}
 	for i, out := range results {
-		sum.Runs += out.runs
-		sum.Shuffles += out.shuffles
-		sum.Entries += out.entries
-		if len(out.divs) == 0 {
+		sum.Runs += out.rec.Runs
+		sum.Shuffles += out.rec.Shuffles
+		sum.Entries += out.rec.Entries
+		if out.resumed {
+			sum.Resumed++
+		}
+		if len(out.rec.Divergences) == 0 {
 			continue
+		}
+		program := out.program
+		if program == nil {
+			// Replayed failure: programs are not journaled, they regenerate
+			// deterministically from the campaign seed.
+			program, _, _ = GenerateProgram(o.Seed, i)
 		}
 		f := Failure{
 			Index:       i,
-			Seed:        out.seed,
-			Source:      out.source,
-			Program:     out.program,
-			Divergences: out.divs,
+			Seed:        out.rec.Seed,
+			Source:      out.rec.Source,
+			Program:     program,
+			Divergences: out.rec.Divergences,
+			Minimized:   out.minimized,
+			Encoded:     out.rec.Minimized,
 		}
-		if o.Shrink {
-			fails := func(cand *isa.Program) bool {
-				if o.Variant != nil {
-					return CheckVariantProgram(o.Machine, *o.Variant, cand, o.MaxInstr).Failed()
-				}
-				return CheckProgram(o.Machine, cand, o.MaxInstr).Failed()
-			}
-			f.Minimized = Minimize(out.program, fails, o.ShrinkTests)
-			if enc, err := EncodeProgram(f.Minimized); err == nil {
-				f.Encoded = enc
-			}
+		if f.Minimized == nil && len(f.Encoded) > 0 {
+			f.Minimized = DecodeProgram(f.Encoded)
 		}
 		sum.Failures = append(sum.Failures, f)
 	}

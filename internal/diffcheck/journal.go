@@ -1,0 +1,85 @@
+package diffcheck
+
+import (
+	"fmt"
+
+	"blackjack/internal/journal"
+)
+
+// fuzzRecord is one completed fuzz program as journaled: everything the
+// program contributed to the session summary, so a resumed session's
+// summary is identical to an uninterrupted one. The program itself is not
+// stored — it regenerates deterministically from (campaign seed, index) —
+// but the minimized reproducer's wire form is, so resume never re-runs a
+// delta-debugging session.
+type fuzzRecord struct {
+	Seed        uint64       `json:"seed"`
+	Source      string       `json:"source"`
+	Runs        int          `json:"runs"`
+	Shuffles    uint64       `json:"shuffles"`
+	Entries     uint64       `json:"entries"`
+	Divergences []Divergence `json:"divergences,omitempty"`
+	Minimized   []byte       `json:"minimized,omitempty"`
+}
+
+// FuzzJournal is the durable completed-program log of one fuzz session.
+// Open it with OpenFuzzJournal and attach it via FuzzOptions.Journal.
+type FuzzJournal struct {
+	j    *journal.Journal[fuzzRecord]
+	done map[int]fuzzRecord
+}
+
+// fuzzJournalVersion is bumped when fuzzRecord changes incompatibly.
+const fuzzJournalVersion = 1
+
+// OpenFuzzJournal opens (creating or resuming) the fuzz journal at path.
+// The key covers everything that defines program identity and check
+// behavior — machine config, campaign seed, per-run budget, variant
+// restriction, shrink settings — but deliberately NOT the program count or
+// worker count: per-program seeds derive from the campaign seed, so a
+// session journaled with -n 100 resumes (and extends) under -n 1000.
+func OpenFuzzJournal(path string, opts FuzzOptions) (*FuzzJournal, error) {
+	o := opts.withDefaults()
+	variant := "all"
+	if o.Variant != nil {
+		variant = o.Variant.Name
+	}
+	key := journal.KeyHash(
+		fmt.Sprintf("machine=%+v", o.Machine),
+		fmt.Sprintf("seed=%d", o.Seed),
+		fmt.Sprintf("maxinstr=%d", o.MaxInstr),
+		"variant="+variant,
+		fmt.Sprintf("shrink=%v/%d", o.Shrink, o.ShrinkTests),
+	)
+	j, done, err := journal.Open[fuzzRecord](path, journal.Header{
+		Kind: "fuzz", Key: key, Version: fuzzJournalVersion,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &FuzzJournal{j: j, done: done}, nil
+}
+
+// Done returns how many completed programs the journal already holds.
+func (fj *FuzzJournal) Done() int { return len(fj.done) }
+
+// Sync flushes and fsyncs pending records (graceful-shutdown path).
+func (fj *FuzzJournal) Sync() error { return fj.j.Sync() }
+
+// Close flushes, fsyncs and closes the journal.
+func (fj *FuzzJournal) Close() error { return fj.j.Close() }
+
+// harnessVariant labels divergences that come from the checking machinery
+// itself (a panic in a variant run), not from a specific machine variant.
+const harnessVariant = "harness"
+
+// panicDivergence converts a recovered panic into a reportable finding: a
+// panicking check is a harness bug worth a minimized reproducer, not a
+// reason to lose the rest of the session.
+func panicDivergence(r any) Divergence {
+	return Divergence{
+		Variant: harnessVariant,
+		Kind:    "panic",
+		Detail:  fmt.Sprintf("%v", r),
+	}
+}

@@ -6,7 +6,9 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"path/filepath"
 	"sort"
 
 	"blackjack/internal/fault"
@@ -48,6 +50,23 @@ type Options struct {
 	// Tables and figures are unaffected. Must not be shared by concurrent
 	// experiment runs.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, cancels the experiment: typically wired to SIGINT
+	// via signal.NotifyContext so a long suite or campaign shuts down
+	// gracefully, flushing journals and partial metrics. nil means
+	// uncancellable.
+	Ctx context.Context
+	// Resilience tunes per-run isolation, wall-clock budgets, retries and
+	// the hung-worker watchdog (see sim.Resilience). With Isolate set,
+	// RunSuite quarantines failing (benchmark, mode) cells into
+	// Suite.Failures instead of aborting, and campaign experiments
+	// quarantine panicking or over-budget injections.
+	Resilience sim.Resilience
+	// JournalDir, when non-empty, makes every campaign experiment (Ext-A,
+	// Ext-C, Ext-G) journal its completed runs to
+	// <JournalDir>/<experiment>-<benchmark>-<variant>.journal and resume
+	// from any journal already there: re-running after a crash or SIGINT
+	// skips completed injections and reproduces identical tables.
+	JournalDir string
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -71,10 +90,70 @@ func (o *Options) fill() {
 	}
 }
 
+// runCampaign runs one campaign of a campaign experiment, attaching a
+// resumable journal named after the (experiment, benchmark, variant)
+// identity when opts.JournalDir is set.
+func runCampaign(opts Options, name string, cfg sim.Config, bench string, sites []fault.Site, iopts sim.InjectOptions) (*sim.CampaignSummary, error) {
+	if opts.JournalDir != "" {
+		cj, err := sim.OpenCampaignJournal(filepath.Join(opts.JournalDir, name+".journal"), cfg, bench, sites, iopts)
+		if err != nil {
+			return nil, err
+		}
+		defer cj.Close()
+		cfg.Journal = cj
+	}
+	return sim.Campaign(cfg, bench, sites, iopts)
+}
+
 // Suite holds one full run of all benchmarks under all four modes.
 type Suite struct {
 	Opts    Options
 	Results map[string]map[pipeline.Mode]*sim.Result
+	// Failures lists quarantined (benchmark, mode) cells — runs that
+	// panicked, diverged from the golden model or exceeded their budget
+	// while Opts.Resilience.Isolate was set. Benchmarks with any failed
+	// cell are excluded from every figure; the remaining rows are
+	// byte-identical to a suite run over the healthy benchmarks alone.
+	Failures []SuiteFailure
+}
+
+// SuiteFailure is one quarantined suite cell.
+type SuiteFailure struct {
+	Benchmark string
+	Mode      pipeline.Mode
+	Err       string
+	// Repro re-runs just the failed cell.
+	Repro string
+}
+
+// complete returns the benchmarks every figure aggregates over: those whose
+// four mode cells all ran. Without quarantined cells it is the full
+// benchmark list.
+func (s *Suite) complete() []string {
+	if len(s.Failures) == 0 {
+		return s.Opts.Benchmarks
+	}
+	bad := make(map[string]bool, len(s.Failures))
+	for _, f := range s.Failures {
+		bad[f.Benchmark] = true
+	}
+	out := make([]string, 0, len(s.Opts.Benchmarks))
+	for _, b := range s.Opts.Benchmarks {
+		if !bad[b] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// FailuresTable renders the quarantined cells (empty table when none).
+func (s *Suite) FailuresTable() *stats.Table {
+	t := stats.NewTable("Quarantined suite cells (excluded from every figure)",
+		"benchmark", "mode", "error", "repro")
+	for _, f := range s.Failures {
+		t.AddRow(f.Benchmark, f.Mode.String(), f.Err, f.Repro)
+	}
+	return t
 }
 
 // RunSuite executes the whole suite: every benchmark under every mode. The
@@ -87,7 +166,7 @@ func RunSuite(opts Options) (*Suite, error) {
 	// Generate each benchmark's program once; the mode runs share it
 	// (programs are immutable once built — every machine copies the data
 	// image at construction).
-	progs, err := parallel.Map(opts.Parallel, len(opts.Benchmarks), func(i int) (*isa.Program, error) {
+	progs, err := parallel.MapCtx(opts.Ctx, opts.Parallel, len(opts.Benchmarks), func(i int) (*isa.Program, error) {
 		p, err := prog.Benchmark(opts.Benchmarks[i])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", opts.Benchmarks[i], err)
@@ -98,10 +177,18 @@ func RunSuite(opts Options) (*Suite, error) {
 		return nil, err
 	}
 	modes := sim.AllModes
-	results, err := parallel.Map(opts.Parallel, len(opts.Benchmarks)*len(modes), func(k int) (*sim.Result, error) {
+	// A cell is one (benchmark, mode) run; with Resilience.Isolate set, a
+	// failing cell is quarantined into a SuiteFailure instead of aborting
+	// the fan-out (panics are already isolated by the parallel pool).
+	type cell struct {
+		res  *sim.Result
+		fail *SuiteFailure
+	}
+	runCell := func(k int) (*sim.Result, error) {
 		name, mode := opts.Benchmarks[k/len(modes)], modes[k%len(modes)]
 		r, err := sim.RunProgram(sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+			Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}, progs[k/len(modes)])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
@@ -110,6 +197,28 @@ func RunSuite(opts Options) (*Suite, error) {
 			return nil, fmt.Errorf("experiments: %s/%v: output diverged from golden model", name, mode)
 		}
 		return r, nil
+	}
+	cells, err := parallel.MapCtx(opts.Ctx, opts.Parallel, len(opts.Benchmarks)*len(modes), func(k int) (c cell, err error) {
+		if opts.Resilience.Isolate {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("panic: %v", r)
+				}
+				if err != nil && (opts.Ctx == nil || opts.Ctx.Err() == nil) {
+					name, mode := opts.Benchmarks[k/len(modes)], modes[k%len(modes)]
+					c = cell{fail: &SuiteFailure{
+						Benchmark: name, Mode: mode, Err: err.Error(),
+						Repro: fmt.Sprintf("bjsim -bench %s -mode %s -n %d", name, mode, opts.Instructions),
+					}}
+					err = nil
+				}
+			}()
+		}
+		r, err := runCell(k)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{res: r}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -118,16 +227,34 @@ func RunSuite(opts Options) (*Suite, error) {
 	for i, name := range opts.Benchmarks {
 		rs := make(map[pipeline.Mode]*sim.Result, len(modes))
 		for j, mode := range modes {
-			rs[mode] = results[i*len(modes)+j]
+			c := cells[i*len(modes)+j]
+			if c.fail != nil {
+				s.Failures = append(s.Failures, *c.fail)
+				continue
+			}
+			rs[mode] = c.res
 		}
 		s.Results[name] = rs
 	}
 	if opts.Metrics != nil {
 		// Export after assembly, in input order: the sums are identical at
 		// every worker count because each run's stats are deterministic.
-		opts.Metrics.Counter("suite.runs").Add(uint64(len(results)))
-		for _, r := range results {
-			r.Stats.Export(opts.Metrics)
+		// Quarantined cells contribute only the suite.quarantined counter,
+		// so the healthy cells' metrics match a clean suite over them.
+		runs := 0
+		for _, c := range cells {
+			if c.res != nil {
+				runs++
+			}
+		}
+		opts.Metrics.Counter("suite.runs").Add(uint64(runs))
+		if len(s.Failures) > 0 {
+			opts.Metrics.Counter("suite.quarantined").Add(uint64(len(s.Failures)))
+		}
+		for _, c := range cells {
+			if c.res != nil {
+				c.res.Stats.Export(opts.Metrics)
+			}
 		}
 	}
 	return s, nil
@@ -137,10 +264,11 @@ func (s *Suite) get(bench string, mode pipeline.Mode) *sim.Result {
 	return s.Results[bench][mode]
 }
 
-// mean of f over the suite's benchmarks.
+// mean of f over the suite's complete benchmarks.
 func (s *Suite) mean(f func(bench string) float64) float64 {
-	vals := make([]float64, 0, len(s.Opts.Benchmarks))
-	for _, b := range s.Opts.Benchmarks {
+	bs := s.complete()
+	vals := make([]float64, 0, len(bs))
+	for _, b := range bs {
 		vals = append(vals, f(b))
 	}
 	return stats.Mean(vals)
@@ -178,7 +306,7 @@ type Fig4Row struct {
 // Figure4 returns hard-error instruction coverage: total (Figure 4a, the
 // area-weighted metric) and backend-only (Figure 4b).
 func (s *Suite) Figure4() (total, backend []Fig4Row) {
-	for _, b := range s.Opts.Benchmarks {
+	for _, b := range s.complete() {
 		srt, bj := s.get(b, pipeline.ModeSRT).Stats, s.get(b, pipeline.ModeBlackJack).Stats
 		total = append(total, Fig4Row{b, srt.Coverage(), bj.Coverage()})
 		backend = append(backend, Fig4Row{b, srt.BackendDiversity(), bj.BackendDiversity()})
@@ -226,15 +354,16 @@ type Fig5Row struct {
 
 // Figure5 returns the interference breakdown under BlackJack.
 func (s *Suite) Figure5() []Fig5Row {
-	rows := make([]Fig5Row, 0, len(s.Opts.Benchmarks)+1)
+	bs := s.complete()
+	rows := make([]Fig5Row, 0, len(bs)+1)
 	var tt, lt float64
-	for _, b := range s.Opts.Benchmarks {
+	for _, b := range bs {
 		st := s.get(b, pipeline.ModeBlackJack).Stats
 		rows = append(rows, Fig5Row{b, st.TTInterferenceFrac(), st.LTInterferenceFrac()})
 		tt += st.TTInterferenceFrac()
 		lt += st.LTInterferenceFrac()
 	}
-	n := float64(len(s.Opts.Benchmarks))
+	n := float64(len(bs))
 	return append(rows, Fig5Row{"average", tt / n, lt / n})
 }
 
@@ -257,14 +386,15 @@ type Fig6Row struct {
 // Figure6 returns the fraction of issue cycles in which all issued
 // instructions came from the same context (BlackJack runs).
 func (s *Suite) Figure6() []Fig6Row {
-	rows := make([]Fig6Row, 0, len(s.Opts.Benchmarks)+1)
+	bs := s.complete()
+	rows := make([]Fig6Row, 0, len(bs)+1)
 	var sum float64
-	for _, b := range s.Opts.Benchmarks {
+	for _, b := range bs {
 		st := s.get(b, pipeline.ModeBlackJack).Stats
 		rows = append(rows, Fig6Row{b, st.SingleContextFrac()})
 		sum += st.SingleContextFrac()
 	}
-	return append(rows, Fig6Row{"average", sum / float64(len(s.Opts.Benchmarks))})
+	return append(rows, Fig6Row{"average", sum / float64(len(bs))})
 }
 
 // Figure6Table renders issue burstiness.
@@ -289,9 +419,10 @@ type Fig7Row struct {
 // to the non-fault-tolerant single thread, in the suite's (increasing-IPC)
 // benchmark order.
 func (s *Suite) Figure7() []Fig7Row {
-	rows := make([]Fig7Row, 0, len(s.Opts.Benchmarks)+1)
+	bs := s.complete()
+	rows := make([]Fig7Row, 0, len(bs)+1)
 	var a, b2, c float64
-	for _, b := range s.Opts.Benchmarks {
+	for _, b := range bs {
 		single := s.get(b, pipeline.ModeSingle)
 		row := Fig7Row{
 			Benchmark:   b,
@@ -304,7 +435,7 @@ func (s *Suite) Figure7() []Fig7Row {
 		b2 += row.BlackJackNS
 		c += row.BlackJack
 	}
-	n := float64(len(s.Opts.Benchmarks))
+	n := float64(len(bs))
 	return append(rows, Fig7Row{"average", a / n, b2 / n, c / n})
 }
 
@@ -391,7 +522,10 @@ type ExtARow struct {
 	Silent    int
 	Benign    int
 	Wedged    int
-	Rate      float64 // detected / (detected+silent) among activated sites
+	// Quarantined counts runs the resilience layer excluded (panic or
+	// exhausted budget); their repro commands are on the campaign summary.
+	Quarantined int
+	Rate        float64 // detected / (detected+silent) among activated sites
 	// AvgDetectLatency is the mean cycles from a fault's first activation to
 	// its first detection, over detected runs (-1 when none).
 	AvgDetectLatency float64
@@ -411,9 +545,10 @@ func ExtAFaultInjection(opts Options, benchmark string) ([]ExtARow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
-			Metrics: opts.Metrics,
+			Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}
-		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
+		sum, err := runCampaign(opts, fmt.Sprintf("exta-%s-%s", benchmark, mode), cfg,
+			benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
 		}
@@ -442,6 +577,8 @@ func extARowFromSummary(mode pipeline.Mode, sites int, sum *sim.CampaignSummary)
 			row.Benign++
 		case sim.OutcomeWedged:
 			row.Wedged++
+		case sim.OutcomeQuarantined:
+			row.Quarantined++
 		}
 	}
 	row.AvgDetectLatency = -1
@@ -455,7 +592,7 @@ func extARowFromSummary(mode pipeline.Mode, sites int, sum *sim.CampaignSummary)
 func ExtATable(rows []ExtARow, benchmark string) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Ext-A: Empirical fault-injection outcomes on %q (split payload RAMs)", benchmark),
-		"mode", "sites", "activated", "detected", "silent", "benign", "wedged", "detection-rate(%)", "avg-latency(cycles)")
+		"mode", "sites", "activated", "detected", "silent", "benign", "wedged", "quarantined", "detection-rate(%)", "avg-latency(cycles)")
 	for _, r := range rows {
 		lat := "-"
 		if r.AvgDetectLatency >= 0 {
@@ -463,7 +600,7 @@ func ExtATable(rows []ExtARow, benchmark string) *stats.Table {
 		}
 		t.AddRow(r.Mode.String(), fmt.Sprint(r.Sites), fmt.Sprint(r.Activated),
 			fmt.Sprint(r.Detected), fmt.Sprint(r.Silent), fmt.Sprint(r.Benign),
-			fmt.Sprint(r.Wedged), stats.Pct(r.Rate), lat)
+			fmt.Sprint(r.Wedged), fmt.Sprint(r.Quarantined), stats.Pct(r.Rate), lat)
 	}
 	return t
 }
@@ -475,8 +612,9 @@ func ExtATable(rows []ExtARow, benchmark string) *stats.Table {
 func (s *Suite) ExtBTable() *stats.Table {
 	t := stats.NewTable("Ext-B: Slowdown decomposition (ideal-shuffle bound)",
 		"benchmark", "SRT->BJ-NS(%)", "BJ-NS->BJ(%)", "SRT->BJ total(%)")
+	bs := s.complete()
 	var g1, g2, g3 float64
-	for _, b := range s.Opts.Benchmarks {
+	for _, b := range bs {
 		srt := s.get(b, pipeline.ModeSRT)
 		ns := s.get(b, pipeline.ModeBlackJackNS)
 		bj := s.get(b, pipeline.ModeBlackJack)
@@ -488,7 +626,7 @@ func (s *Suite) ExtBTable() *stats.Table {
 		g2 += d2
 		g3 += d3
 	}
-	n := float64(len(s.Opts.Benchmarks))
+	n := float64(len(bs))
 	t.AddRow("average", stats.Pct(g1/n), stats.Pct(g2/n), stats.Pct(g3/n))
 	return t
 }
@@ -520,12 +658,13 @@ func ExtCPayloadRAM(opts Options, benchmarks []string) ([]ExtCRow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+			Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}
-		shared, err := sim.Campaign(cfg, b, sites, sim.InjectOptions{SplitPayload: false})
+		shared, err := runCampaign(opts, "extc-"+b+"-shared", cfg, b, sites, sim.InjectOptions{SplitPayload: false})
 		if err != nil {
 			return nil, err
 		}
-		split, err := sim.Campaign(cfg, b, sites, sim.InjectOptions{SplitPayload: true})
+		split, err := runCampaign(opts, "extc-"+b+"-split", cfg, b, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
 		}
@@ -598,7 +737,7 @@ func ExtDSweep(opts Options, benchmark string, slacks, dtqs []int) ([]ExtDRow, e
 	for _, d := range dtqs {
 		points = append(points, point{"dtq", d})
 	}
-	rows, err := parallel.Map(opts.Parallel, len(points), func(i int) (ExtDRow, error) {
+	rows, err := parallel.MapCtx(opts.Ctx, opts.Parallel, len(points), func(i int) (ExtDRow, error) {
 		machine := opts.Machine
 		if points[i].param == "slack" {
 			machine.Slack = points[i].value
@@ -607,6 +746,7 @@ func ExtDSweep(opts Options, benchmark string, slacks, dtqs []int) ([]ExtDRow, e
 		}
 		r, err := sim.RunProgram(sim.Config{
 			Machine: machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
+			Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}, p)
 		if err != nil {
 			return ExtDRow{}, err
@@ -659,7 +799,7 @@ func ExtEMergingShuffle(opts Options, benchmarks []string) ([]ExtERow, error) {
 	// Fan out over (benchmark, variant) runs — three independent machines per
 	// benchmark — then assemble rows from the ordered results.
 	const variants = 3 // single, BlackJack, BlackJack+merge
-	runs, err := parallel.Map(opts.Parallel, len(benchmarks)*variants, func(k int) (*sim.Result, error) {
+	runs, err := parallel.MapCtx(opts.Ctx, opts.Parallel, len(benchmarks)*variants, func(k int) (*sim.Result, error) {
 		p, err := prog.Benchmark(benchmarks[k/variants])
 		if err != nil {
 			return nil, err
@@ -673,6 +813,7 @@ func ExtEMergingShuffle(opts Options, benchmarks []string) ([]ExtERow, error) {
 		}
 		return sim.RunProgram(sim.Config{
 			Machine: machine, Mode: mode, MaxInstructions: opts.Instructions,
+			Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}, p)
 	})
 	if err != nil {
@@ -744,6 +885,7 @@ func ExtFMultiFault(opts Options, benchmark string, maxFaults int) ([]ExtFRow, e
 	cfg := sim.Config{
 		Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
 		CheckpointInterval: opts.CheckpointInterval,
+		Ctx:                opts.Ctx, Resilience: opts.Resilience,
 	}
 	// Every window is a contiguous range of the same site list, so with
 	// checkpointing enabled all of them fork from one shared warmup plan
@@ -755,7 +897,7 @@ func ExtFMultiFault(opts Options, benchmark string, maxFaults int) ([]ExtFRow, e
 			return nil, err
 		}
 	}
-	results, err := parallel.Map(opts.Parallel, len(windows), func(i int) (sim.InjectionResult, error) {
+	results, err := parallel.MapCtx(opts.Ctx, opts.Parallel, len(windows), func(i int) (sim.InjectionResult, error) {
 		w := windows[i]
 		if pl != nil {
 			return pl.InjectRange(w.start, w.start+w.faults)
@@ -812,9 +954,10 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
-			Metrics: opts.Metrics,
+			Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}
-		sum, err := sim.Campaign(cfg, benchmark, sites, sim.InjectOptions{SplitPayload: true})
+		sum, err := runCampaign(opts, fmt.Sprintf("extg-%s-%s", benchmark, mode), cfg,
+			benchmark, sites, sim.InjectOptions{SplitPayload: true})
 		if err != nil {
 			return nil, err
 		}
@@ -827,7 +970,7 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 func ExtGTable(rows []ExtARow, benchmark string) *stats.Table {
 	t := stats.NewTable(
 		fmt.Sprintf("Ext-G: Transient (soft-error) injection on %q — one corruption per site", benchmark),
-		"mode", "sites", "activated", "detected", "silent", "benign", "detection-rate(%)", "avg-latency(cycles)")
+		"mode", "sites", "activated", "detected", "silent", "benign", "wedged", "quarantined", "detection-rate(%)", "avg-latency(cycles)")
 	for _, r := range rows {
 		lat := "-"
 		if r.AvgDetectLatency >= 0 {
@@ -835,7 +978,7 @@ func ExtGTable(rows []ExtARow, benchmark string) *stats.Table {
 		}
 		t.AddRow(r.Mode.String(), fmt.Sprint(r.Sites), fmt.Sprint(r.Activated),
 			fmt.Sprint(r.Detected), fmt.Sprint(r.Silent), fmt.Sprint(r.Benign),
-			stats.Pct(r.Rate), lat)
+			fmt.Sprint(r.Wedged), fmt.Sprint(r.Quarantined), stats.Pct(r.Rate), lat)
 	}
 	return t
 }
@@ -867,7 +1010,7 @@ func ExtHSeedRobustness(opts Options, offsets []uint64) ([]ExtHRow, error) {
 	// its reseeded program and runs the three modes on it.
 	type cell struct{ res [3]*sim.Result }
 	nb := len(opts.Benchmarks)
-	cells, err := parallel.Map(opts.Parallel, len(offsets)*nb, func(k int) (cell, error) {
+	cells, err := parallel.MapCtx(opts.Ctx, opts.Parallel, len(offsets)*nb, func(k int) (cell, error) {
 		off, bench := offsets[k/nb], opts.Benchmarks[k%nb]
 		p, err := prog.SeededBenchmark(bench, off)
 		if err != nil {
@@ -877,6 +1020,7 @@ func ExtHSeedRobustness(opts Options, offsets []uint64) ([]ExtHRow, error) {
 		for i, mode := range modes {
 			r, err := sim.RunProgram(sim.Config{
 				Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+				Ctx: opts.Ctx, Resilience: opts.Resilience,
 			}, p)
 			if err != nil {
 				return cell{}, err

@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"blackjack/internal/sim"
+)
+
+func TestSuiteIsolationNoFailuresMatchesPlainRun(t *testing.T) {
+	plain, err := RunSuite(smallOpts("gzip", "equake"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := smallOpts("gzip", "equake")
+	opts.Resilience = sim.Resilience{Isolate: true}
+	isolated, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(isolated.Failures) != 0 {
+		t.Fatalf("healthy suite quarantined cells: %+v", isolated.Failures)
+	}
+	if got, want := isolated.Figure7Table().String(), plain.Figure7Table().String(); got != want {
+		t.Fatalf("isolation changed a healthy suite's figures:\n got: %s\nwant: %s", got, want)
+	}
+}
+
+func TestSuiteQuarantinesOverBudgetCells(t *testing.T) {
+	opts := smallOpts("gzip", "equake")
+	// A 1ns budget interrupts every run at its first context poll; the
+	// budget must be long enough that every cell reaches one (the machine
+	// polls every 4096 cycles). With Isolate set the suite must finish
+	// with all cells quarantined instead of erroring out.
+	opts.Instructions = 30000
+	opts.Resilience = sim.Resilience{Isolate: true, RunTimeout: time.Nanosecond}
+	s, err := RunSuite(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Failures) != 2*4 {
+		t.Fatalf("quarantined %d cells, want all 8: %+v", len(s.Failures), s.Failures)
+	}
+	for _, f := range s.Failures {
+		if f.Repro == "" || !strings.Contains(f.Repro, f.Benchmark) {
+			t.Fatalf("failure lacks usable repro: %+v", f)
+		}
+	}
+	if bs := s.complete(); len(bs) != 0 {
+		t.Fatalf("incomplete benchmarks still aggregated: %v", bs)
+	}
+	if rows := s.FailuresTable().String(); !strings.Contains(rows, "gzip") || !strings.Contains(rows, "equake") {
+		t.Fatalf("failures table incomplete:\n%s", rows)
+	}
+}
+
+func TestSuiteCancelledContextAborts(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opts := smallOpts("gzip")
+	opts.Ctx = ctx
+	// Even with isolation on, a campaign-level cancellation is an abort,
+	// not a quarantine-everything run.
+	opts.Resilience = sim.Resilience{Isolate: true}
+	if _, err := RunSuite(opts); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled suite returned %v, want context.Canceled", err)
+	}
+}
+
+func TestExtAJournalResumeIdenticalRows(t *testing.T) {
+	opts := smallOpts()
+	opts.Instructions = 2000
+	opts.Parallel = 4
+	fresh, err := ExtAFaultInjection(opts, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts.JournalDir = t.TempDir()
+	journaled, err := ExtAFaultInjection(opts, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fresh, journaled) {
+		t.Fatalf("journaled rows diverged:\n got: %+v\nwant: %+v", journaled, fresh)
+	}
+	// Second run over the same journal directory replays every campaign
+	// from the journals; the rendered table must be byte-identical.
+	opts.Parallel = 2
+	resumed, err := ExtAFaultInjection(opts, "gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ExtATable(resumed, "gzip").String(), ExtATable(fresh, "gzip").String(); got != want {
+		t.Fatalf("resumed table diverged:\n got: %s\nwant: %s", got, want)
+	}
+}

@@ -1,23 +1,36 @@
 // Package parallel provides the bounded worker pool underlying every batch
 // entry point of the simulation harness: experiment suites (benchmark x mode
-// pairs), fault-injection campaigns (one run per site) and parameter sweeps
-// (one run per sweep point). Each pipeline.Machine is fully independent, so
-// these workloads are embarrassingly parallel; what the harness must
-// guarantee is that parallelism never changes results. The pool therefore
+// pairs), fault-injection campaigns (one run per site), parameter sweeps
+// (one run per sweep point) and fuzz sessions (one run per program). Each
+// pipeline.Machine is fully independent, so these workloads are
+// embarrassingly parallel; what the harness must guarantee is that
+// parallelism never changes results. The pool therefore
 //
 //   - assembles results in input order, regardless of completion order;
 //   - aggregates errors deterministically: the lowest-indexed error among
-//     the items that ran wins (item 0 is always attempted, and with a single
-//     worker this is exactly the serial loop's first error);
+//     the items that ran wins (item 0 is always attempted when the context
+//     is live, and with a single worker this is exactly the serial loop's
+//     first error);
 //   - cancels outstanding work after the first observed failure, errgroup
 //     style, without ever mutating shared state from two goroutines.
+//
+// The pool is also the harness's first resilience boundary: every item runs
+// behind a recover() barrier, so a panicking run surfaces as a structured
+// *PanicError for that index (site, stack preserved) instead of tearing down
+// the whole campaign's process. The Ctx variants additionally observe a
+// context: cancellation stops new items from starting, and the context's
+// error is reported only when no item error outranks it (see
+// ForEachWorkerCtx for the exact ordering).
 //
 // Workers pull indices from a single atomic counter, so no work list is
 // materialized and the pool costs O(workers) goroutines regardless of n.
 package parallel
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -32,13 +45,47 @@ func Workers(n int) int {
 	return n
 }
 
+// PanicError is the structured form of a panic recovered from one work item.
+// The pool converts panics to errors instead of letting them cross goroutine
+// boundaries (where they would kill the process): batch callers can
+// quarantine the one poisoned run and keep the campaign alive.
+type PanicError struct {
+	// Index is the work-item index whose function panicked.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error summarizes the panic; the full stack stays in Stack.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("item %d panicked: %v", e.Index, e.Value)
+}
+
+// protect wraps one item invocation in a recover() boundary.
+func protect(fn func(worker, i int) error, worker, i int) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Index: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(worker, i)
+}
+
 // ForEach invokes fn(i) for every i in [0, n) from at most workers
 // goroutines and blocks until all invocations finish. When any invocation
 // fails, no new work is started and the lowest-indexed error among the items
 // that ran is returned — the deterministic analogue of a serial loop's first
 // error. fn must be safe for concurrent invocation on distinct indices.
 func ForEach(workers, n int, fn func(i int) error) error {
-	return ForEachWorker(workers, n, func(_, i int) error { return fn(i) })
+	return ForEachWorkerCtx(context.Background(), workers, n, func(_, i int) error { return fn(i) })
+}
+
+// ForEachCtx is ForEach under a context: no new items start once ctx is
+// cancelled (see ForEachWorkerCtx for the error-ordering contract).
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int) error) error {
+	return ForEachWorkerCtx(ctx, workers, n, func(_, i int) error { return fn(i) })
 }
 
 // ForEachWorker is ForEach with the invoking worker's index [0, workers)
@@ -47,8 +94,26 @@ func ForEach(workers, n int, fn func(i int) error) error {
 // worker runs its items sequentially, so state keyed by worker index is never
 // touched concurrently. The serial fast path always reports worker 0.
 func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
+	return ForEachWorkerCtx(context.Background(), workers, n, fn)
+}
+
+// ForEachWorkerCtx is the pool's core loop. Cancellation and error ordering:
+//
+//   - a panic inside fn becomes a *PanicError for that index, never a
+//     process crash;
+//   - once ctx is cancelled, no further items start (including item 0 if
+//     cancellation preceded the call);
+//   - after all in-flight items finish, the lowest-indexed item error among
+//     the items that actually ran is returned; only when no item erred does
+//     a cancelled context's error surface. Item errors outrank ctx.Err()
+//     because they carry the actionable diagnosis — the cancellation is
+//     usually a consequence of shutdown, not the cause of the failure.
+func ForEachWorkerCtx(ctx context.Context, workers, n int, fn func(worker, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	workers = Workers(workers)
 	if workers > n {
@@ -56,9 +121,13 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 	}
 	if workers == 1 {
 		// Serial fast path: no goroutines, so single-worker runs behave
-		// exactly like the pre-parallel harness (including error timing).
+		// exactly like the pre-parallel harness (including error timing) —
+		// but panics are still contained, matching the pooled path.
 		for i := 0; i < n; i++ {
-			if err := fn(0, i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := protect(fn, 0, i); err != nil {
 				return err
 			}
 		}
@@ -80,12 +149,16 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 				if i >= n {
 					return
 				}
-				// Item 0 always runs so an all-fail batch reports item 0's
-				// error no matter how the workers are scheduled.
+				if ctx.Err() != nil {
+					return
+				}
+				// Item 0 always runs (with a live context) so an all-fail
+				// batch reports item 0's error no matter how the workers are
+				// scheduled.
 				if i > 0 && failed.Load() {
 					return
 				}
-				if err := fn(worker, i); err != nil {
+				if err := protect(fn, worker, i); err != nil {
 					errs[i] = err
 					failed.Store(true)
 				}
@@ -98,7 +171,7 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // Map invokes fn(i) for every i in [0, n) from at most workers goroutines
@@ -106,7 +179,13 @@ func ForEachWorker(workers, n int, fn func(worker, i int) error) error {
 // ForEach: first failing index wins, outstanding work is cancelled, and a
 // non-nil error means the result slice is nil.
 func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
-	return MapWorker(workers, n, func(_, i int) (T, error) { return fn(i) })
+	return MapWorkerCtx(context.Background(), workers, n, func(_, i int) (T, error) { return fn(i) })
+}
+
+// MapCtx is Map under a context (see ForEachWorkerCtx for the cancellation
+// contract).
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	return MapWorkerCtx(ctx, workers, n, func(_, i int) (T, error) { return fn(i) })
 }
 
 // MapWorkerState is MapWorker with the per-worker scratch state made
@@ -118,6 +197,13 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 // operation is commutative, since which worker ran which item is not
 // deterministic). On error the states are still returned for inspection.
 func MapWorkerState[S, T any](workers, n int, newState func() S, fn func(state S, worker, i int) (T, error)) ([]T, []S, error) {
+	return MapWorkerStateCtx(context.Background(), workers, n, newState, fn)
+}
+
+// MapWorkerStateCtx is MapWorkerState under a context. On cancellation the
+// states are still returned, holding whatever the workers accumulated before
+// stopping — the graceful-shutdown path flushes those partial aggregates.
+func MapWorkerStateCtx[S, T any](ctx context.Context, workers, n int, newState func() S, fn func(state S, worker, i int) (T, error)) ([]T, []S, error) {
 	nw := Workers(workers)
 	if nw > n {
 		nw = n
@@ -129,7 +215,7 @@ func MapWorkerState[S, T any](workers, n int, newState func() S, fn func(state S
 	for i := range states {
 		states[i] = newState()
 	}
-	out, err := MapWorker(workers, n, func(worker, i int) (T, error) {
+	out, err := MapWorkerCtx(ctx, workers, n, func(worker, i int) (T, error) {
 		return fn(states[worker], worker, i)
 	})
 	return out, states, err
@@ -138,8 +224,14 @@ func MapWorkerState[S, T any](workers, n int, newState func() S, fn func(state S
 // MapWorker is Map with the invoking worker's index passed alongside the item
 // index (see ForEachWorker for the per-worker-state contract).
 func MapWorker[T any](workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
+	return MapWorkerCtx(context.Background(), workers, n, fn)
+}
+
+// MapWorkerCtx is MapWorker under a context (see ForEachWorkerCtx for the
+// cancellation contract).
+func MapWorkerCtx[T any](ctx context.Context, workers, n int, fn func(worker, i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	err := ForEachWorker(workers, n, func(worker, i int) error {
+	err := ForEachWorkerCtx(ctx, workers, n, func(worker, i int) error {
 		v, err := fn(worker, i)
 		if err != nil {
 			return err

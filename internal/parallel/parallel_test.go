@@ -1,11 +1,14 @@
 package parallel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersDefault(t *testing.T) {
@@ -113,5 +116,224 @@ func TestMapErrorReturnsNil(t *testing.T) {
 	}
 	if out != nil {
 		t.Errorf("out = %v, want nil on error", out)
+	}
+}
+
+func TestWorkersGreaterThanN(t *testing.T) {
+	// More workers than items must clamp cleanly: every item runs exactly
+	// once and results assemble in order.
+	const n = 3
+	var ran atomic.Int64
+	out, err := Map(64, n, func(i int) (int, error) { ran.Add(1); return i * 10, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != n {
+		t.Errorf("ran %d items, want %d", ran.Load(), n)
+	}
+	for i := range out {
+		if out[i] != i*10 {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], i*10)
+		}
+	}
+}
+
+func TestPanicBecomesErrorSerial(t *testing.T) {
+	// The serial fast path must contain panics exactly like the pooled path:
+	// a *PanicError with the item index and a stack, not a crash.
+	var ran atomic.Int64
+	err := ForEach(1, 10, func(i int) error {
+		ran.Add(1)
+		if i == 2 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 2 || fmt.Sprint(pe.Value) != "kaboom" {
+		t.Errorf("PanicError = {Index:%d Value:%v}, want {2 kaboom}", pe.Index, pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "parallel") {
+		t.Errorf("PanicError.Stack missing or implausible (%d bytes)", len(pe.Stack))
+	}
+	if ran.Load() != 3 {
+		t.Errorf("ran %d items after serial panic, want 3", ran.Load())
+	}
+}
+
+func TestPanicBecomesErrorParallel(t *testing.T) {
+	err := ForEach(4, 100, func(i int) error {
+		if i == 0 {
+			panic(fmt.Errorf("wrapped %d", i))
+		}
+		return nil
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *PanicError", err, err)
+	}
+	if pe.Index != 0 {
+		t.Errorf("PanicError.Index = %d, want 0", pe.Index)
+	}
+}
+
+func TestCancelledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran atomic.Int64
+		err := ForEachCtx(ctx, workers, 50, func(i int) error { ran.Add(1); return nil })
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if ran.Load() != 0 {
+			t.Errorf("workers=%d: ran %d items under a pre-cancelled context", workers, ran.Load())
+		}
+	}
+}
+
+func TestErrorOutranksCancellation(t *testing.T) {
+	// Error-after-cancel ordering: item 0 fails, then the context is
+	// cancelled. The item error must win — it carries the diagnosis; the
+	// cancellation is the shutdown it triggered.
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		err := ForEachCtx(ctx, workers, 1000, func(i int) error {
+			if i == 0 {
+				cancel()
+				return errors.New("root cause")
+			}
+			return nil
+		})
+		cancel()
+		if err == nil || err.Error() != "root cause" {
+			t.Errorf("workers=%d: err = %v, want root cause", workers, err)
+		}
+	}
+}
+
+func TestCancellationStopsNewItems(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 2, 100_000, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if ran.Load() > 1000 {
+		t.Errorf("ran %d items after cancellation", ran.Load())
+	}
+}
+
+func TestMapWorkerStateDeterministicMerge(t *testing.T) {
+	// Per-worker state partitioning is scheduling-dependent, but a
+	// commutative fold over the states must not be. Each worker state
+	// accumulates a sum and a count; the folded totals are compared across
+	// worker counts and repetitions (races surface under -race).
+	const n = 500
+	fold := func(workers int) (sum, count int) {
+		type state struct{ sum, count int }
+		_, states, err := MapWorkerState(workers, n,
+			func() *state { return &state{} },
+			func(s *state, _, i int) (struct{}, error) {
+				s.sum += i
+				s.count++
+				return struct{}{}, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range states {
+			sum += s.sum
+			count += s.count
+		}
+		return sum, count
+	}
+	wantSum, wantCount := fold(1)
+	for _, workers := range []int{2, 4, 16} {
+		for rep := 0; rep < 3; rep++ {
+			sum, count := fold(workers)
+			if sum != wantSum || count != wantCount {
+				t.Fatalf("workers=%d rep=%d: folded (%d,%d), want (%d,%d)",
+					workers, rep, sum, count, wantSum, wantCount)
+			}
+		}
+	}
+}
+
+func TestMapWorkerStateCtxReturnsPartialStates(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	type state struct{ count int }
+	var ran atomic.Int64
+	_, states, err := MapWorkerStateCtx(ctx, 2, 10_000,
+		func() *state { return &state{} },
+		func(s *state, _, i int) (struct{}, error) {
+			if ran.Add(1) == 20 {
+				cancel()
+			}
+			s.count++
+			return struct{}{}, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	total := 0
+	for _, s := range states {
+		total += s.count
+	}
+	if total != int(ran.Load()) {
+		t.Errorf("partial states hold %d items, workers ran %d", total, ran.Load())
+	}
+}
+
+func TestWatchdogReportsStalls(t *testing.T) {
+	type stall struct {
+		worker, item int
+	}
+	ch := make(chan stall, 16)
+	w := NewWatchdog(30*time.Millisecond, func(worker, item int, _ time.Duration) {
+		ch <- stall{worker, item}
+	})
+	w.Begin(0, 7) // stays running past the threshold
+	w.Begin(1, 3)
+	w.End(1) // finishes promptly: must never be reported
+	select {
+	case got := <-ch:
+		if got.worker != 0 || got.item != 7 {
+			t.Errorf("stall = %+v, want worker 0 item 7", got)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("watchdog never reported the stalled item")
+	}
+	w.End(0)
+	if n := w.Stop(); n != 1 {
+		t.Errorf("Stalls = %d, want 1 (prompt worker reported, or stalled item double-reported)", n)
+	}
+	select {
+	case got := <-ch:
+		t.Errorf("unexpected extra stall report %+v", got)
+	default:
+	}
+}
+
+func TestWatchdogReportsOncePerItem(t *testing.T) {
+	w := NewWatchdog(20*time.Millisecond, nil)
+	w.Begin(0, 1)
+	time.Sleep(150 * time.Millisecond)
+	if n := w.Stalls(); n != 1 {
+		t.Errorf("Stalls = %d after one long item, want 1", n)
+	}
+	w.End(0)
+	w.Begin(0, 2)
+	time.Sleep(100 * time.Millisecond)
+	if n := w.Stop(); n != 2 {
+		t.Errorf("Stalls = %d after second long item, want 2", n)
 	}
 }

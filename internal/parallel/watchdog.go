@@ -1,0 +1,146 @@
+package parallel
+
+import (
+	"sync"
+	"time"
+)
+
+// Watchdog detects hung workers in a batch fan-out. Workers bracket each
+// item with Begin/End; a monitor goroutine scans the live items and fires
+// OnStall once per item that has been running longer than the threshold.
+// The watchdog observes only — Go offers no safe way to kill a goroutine —
+// so the cure for a detected hang is the per-run budget (context deadline)
+// threaded into the simulation loop; the watchdog is the layer that notices
+// when even that failed, or when no budget was configured.
+//
+// Stall reports are wall-clock driven and therefore intentionally kept OUT
+// of the deterministic metrics registries: they go to the OnStall callback
+// (typically a stderr note) and the Stalls counter.
+type Watchdog struct {
+	stall   time.Duration
+	onStall func(worker, item int, running time.Duration)
+
+	mu     sync.Mutex
+	slots  map[int]*wdSlot
+	stalls int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+type wdSlot struct {
+	item     int
+	start    time.Time
+	active   bool
+	reported bool
+}
+
+// DefaultStall is the hung-worker threshold when the caller does not supply
+// one: far beyond any legitimate single run, short enough that an operator
+// watching a campaign learns about a livelock promptly.
+const DefaultStall = 30 * time.Second
+
+// NewWatchdog starts a monitor that flags any item running longer than
+// stall (<= 0 selects DefaultStall). onStall may be nil; fires at most once
+// per Begin. Call Stop to shut the monitor down.
+func NewWatchdog(stall time.Duration, onStall func(worker, item int, running time.Duration)) *Watchdog {
+	if stall <= 0 {
+		stall = DefaultStall
+	}
+	w := &Watchdog{
+		stall:   stall,
+		onStall: onStall,
+		slots:   make(map[int]*wdSlot),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	go w.loop()
+	return w
+}
+
+// Begin marks the worker as running the given item.
+func (w *Watchdog) Begin(worker, item int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	s := w.slots[worker]
+	if s == nil {
+		s = &wdSlot{}
+		w.slots[worker] = s
+	}
+	s.item = item
+	s.start = time.Now()
+	s.active = true
+	s.reported = false
+}
+
+// End marks the worker as idle.
+func (w *Watchdog) End(worker int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if s := w.slots[worker]; s != nil {
+		s.active = false
+		s.reported = false
+	}
+}
+
+// Stalls returns how many stalled items have been reported so far.
+func (w *Watchdog) Stalls() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stalls
+}
+
+// Stop shuts the monitor down and returns the final stall count. The
+// watchdog must not be reused after Stop.
+func (w *Watchdog) Stop() int {
+	close(w.stop)
+	<-w.done
+	return w.Stalls()
+}
+
+func (w *Watchdog) loop() {
+	defer close(w.done)
+	period := w.stall / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case now := <-t.C:
+			w.scan(now)
+		}
+	}
+}
+
+func (w *Watchdog) scan(now time.Time) {
+	type fire struct {
+		worker, item int
+		running      time.Duration
+	}
+	var fires []fire
+	w.mu.Lock()
+	for worker, s := range w.slots {
+		if s.active && !s.reported && now.Sub(s.start) > w.stall {
+			s.reported = true
+			w.stalls++
+			fires = append(fires, fire{worker, s.item, now.Sub(s.start)})
+		}
+	}
+	cb := w.onStall
+	w.mu.Unlock()
+	if cb == nil {
+		return
+	}
+	// Callbacks run outside the lock so they may call back into the
+	// watchdog (e.g. Stalls) without deadlocking.
+	for _, f := range fires {
+		cb(f.worker, f.item, f.running)
+	}
+}

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -152,6 +153,12 @@ type Machine struct {
 	lastCommitTotal   uint64
 	lastProgressCycle int64
 
+	// runCtx, when set, bounds the run's wall-clock budget: the run loop
+	// polls it every ctxCheckMask+1 cycles and stops with Stats.Interrupted
+	// when it is done. Like the tracer/metrics it is harness state, not
+	// machine state — Snapshot/Fork drop it.
+	runCtx context.Context
+
 	stats    Stats
 	storeSig uint64
 }
@@ -191,6 +198,19 @@ func WithObsTracer(t *obs.Tracer) Option { return func(m *Machine) { m.otr = t }
 // cycle. Final Stats counters are exported separately via Stats.Export.
 // The registry must not be shared with a concurrently running machine.
 func WithMetrics(r *obs.Registry) Option { return func(m *Machine) { m.metrics = r } }
+
+// ctxCheckMask makes the run loop poll its context every 4096 cycles:
+// cheap enough to be invisible in the hot loop, fine-grained enough that a
+// wall-clock budget lands within microseconds of the deadline.
+const ctxCheckMask = 4095
+
+// WithRunContext bounds the run with a context: when ctx is cancelled or
+// its deadline passes, the run loop stops at the next poll (every 4096
+// cycles) and sets Stats.Interrupted instead of running to completion. The
+// resilience layer uses this as the per-run wall-clock budget — the only
+// way to stop a livelocked simulation that the cycle backstop has not
+// caught yet. A nil ctx (the default) disables the polling entirely.
+func WithRunContext(ctx context.Context) Option { return func(m *Machine) { m.runCtx = ctx } }
 
 // Occupancy-histogram bucket bounds, sized to the Table 1 queues.
 var (
@@ -418,6 +438,10 @@ func (m *Machine) RunWithCheckpoints(maxLeading int, interval int64, hook func(*
 		}
 		if m.cycle >= limit || m.cycle-m.lastProgressCycle > 1_000_000 {
 			m.stats.Deadlocked = true
+			break
+		}
+		if m.runCtx != nil && m.cycle&ctxCheckMask == 0 && m.runCtx.Err() != nil {
+			m.stats.Interrupted = true
 			break
 		}
 		if interval > 0 && hook != nil && m.cycle%interval == 0 {

@@ -1,0 +1,84 @@
+package pipeline
+
+import (
+	"context"
+	"testing"
+)
+
+func TestRunContextCancellationInterrupts(t *testing.T) {
+	// A long-running program under a pre-cancelled context must stop at the
+	// first context poll with Interrupted set — the stats describe a partial
+	// run, Deadlocked stays false.
+	p := sumProgram(1 << 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithRunContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(1 << 20)
+	if !st.Interrupted {
+		t.Fatal("run under a cancelled context completed without Interrupted")
+	}
+	if st.Deadlocked {
+		t.Error("interrupted run misreported as deadlocked")
+	}
+	// The poll fires every ctxCheckMask+1 cycles, so the run must have
+	// stopped almost immediately relative to the full program.
+	if st.Cycles > 2*(ctxCheckMask+1) {
+		t.Errorf("interrupted run still took %d cycles", st.Cycles)
+	}
+}
+
+func TestRunContextNilAndLiveComplete(t *testing.T) {
+	// A live (never-cancelled) context must not perturb the run: same stats
+	// as a context-free run of the same program.
+	p := sumProgram(500)
+	base, err := New(DefaultConfig(), ModeBlackJack, p, nil...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := base.Run(1 << 20)
+
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithRunContext(context.Background()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Run(1 << 20)
+	if got.Interrupted || got.Deadlocked {
+		t.Fatalf("live-context run flagged Interrupted=%v Deadlocked=%v", got.Interrupted, got.Deadlocked)
+	}
+	if got.Cycles != want.Cycles || got.Committed != want.Committed || got.StoreSignature != want.StoreSignature {
+		t.Errorf("live-context run diverged: cycles %d vs %d, committed %v vs %v",
+			got.Cycles, want.Cycles, got.Committed, want.Committed)
+	}
+}
+
+func TestForkDropsRunContext(t *testing.T) {
+	// A fork must not inherit the parent's budget: the parent's context is
+	// cancelled after Snapshot, and the fork still runs to completion.
+	p := sumProgram(2000)
+	ctx, cancel := context.WithCancel(context.Background())
+	m, err := New(DefaultConfig(), ModeBlackJack, p, WithRunContext(ctx))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cp *Checkpoint
+	m.RunWithCheckpoints(1<<20, 512, func(m *Machine) {
+		if cp == nil {
+			cp = m.Snapshot()
+		}
+	})
+	if cp == nil {
+		t.Fatal("no checkpoint taken")
+	}
+	cancel()
+	f := Fork(cp)
+	st := f.Run(1 << 20)
+	if st.Interrupted {
+		t.Error("fork inherited the parent's cancelled run context")
+	}
+	if st.Deadlocked {
+		t.Error("fork deadlocked")
+	}
+}

@@ -124,6 +124,9 @@ func (m *Machine) clone() *Machine {
 	c.otr = nil
 	c.metrics = nil
 	c.hIQ, c.hDTQ, c.hBOQ, c.hLVQ = nil, nil, nil, nil
+	// The run budget is per-run harness state too: a fork gets its own
+	// context (or none) via WithRunContext in its option list.
+	c.runCtx = nil
 
 	// The completion-event heap: same order, remapped uops (the heap
 	// invariant depends only on DoneCycle/GSeq, which the copies share).

@@ -63,6 +63,11 @@ type Stats struct {
 	// completing — always a bug (or an injected fault wedging the pipeline,
 	// which counts as detected misbehaviour for campaigns that check it).
 	Deadlocked bool
+
+	// Interrupted is set when the run stopped early because its
+	// WithRunContext budget expired (wall-clock timeout or shutdown) — the
+	// stats describe a partial run, not a completed one.
+	Interrupted bool
 }
 
 // IPC returns committed leading-thread instructions per cycle.
@@ -180,6 +185,11 @@ func (s *Stats) Export(r *obs.Registry) {
 		deadlocked = 1
 	}
 	set("pipeline.deadlocked", deadlocked)
+	interrupted := uint64(0)
+	if s.Interrupted {
+		interrupted = 1
+	}
+	set("pipeline.interrupted", interrupted)
 	set("cache.accesses", s.Cache.Accesses)
 	set("cache.l1_misses", s.Cache.L1Misses)
 	set("cache.l2_misses", s.Cache.L2Misses)

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"blackjack/internal/detect"
@@ -31,11 +32,19 @@ const (
 	// internal invariant); observable as a hang, distinct from silent
 	// corruption.
 	OutcomeWedged
+	// OutcomeQuarantined: the run never produced a classifiable result —
+	// it panicked in the harness or exhausted its wall-clock budget on
+	// every attempt — and the resilience layer excluded it from the
+	// campaign (see RunFailure) instead of aborting. Distinct from
+	// OutcomeWedged, which is a deterministic, classified simulation
+	// outcome (the injected fault observably hung the machine).
+	OutcomeQuarantined
 )
 
 var outcomeNames = map[Outcome]string{
 	OutcomeBenign: "benign", OutcomeDetected: "detected",
 	OutcomeSilent: "silent-corruption", OutcomeWedged: "wedged",
+	OutcomeQuarantined: "quarantined",
 }
 
 // String names the outcome.
@@ -83,17 +92,24 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 	if len(sites) == 0 {
 		return InjectionResult{}, fmt.Errorf("sim: no fault sites")
 	}
-	return injectSites(cfg, p, sites, opts, nil, newGoldenOracle(p))
+	ctx, cancel := cfg.runContext()
+	defer cancel()
+	return injectSites(ctx, cfg, p, sites, opts, nil, newGoldenOracle(p))
 }
 
 // injectSites is the cold injection path: a fresh machine from cycle 0 with
 // the faults installed. Batch callers pass a reusable sink (Reset between
 // runs) and a shared golden oracle; nil sink means the machine allocates its
 // own, exactly the standalone behavior — and, being a single-machine run,
-// the standalone path also honors cfg.Trace/cfg.Metrics.
-func injectSites(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions, sink *detect.Sink, oracle *goldenOracle) (res InjectionResult, err error) {
+// the standalone path also honors cfg.Trace/cfg.Metrics. A non-nil ctx
+// bounds the run's wall clock: an expired budget surfaces as
+// *InterruptedError, never as a (mis)classified outcome.
+func injectSites(ctx context.Context, cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions, sink *detect.Sink, oracle *goldenOracle) (res InjectionResult, err error) {
 	inj := &fault.Injector{Sites: sites, SplitPayload: opts.SplitPayload}
 	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
+	if ctx != nil {
+		mopts = append(mopts, pipeline.WithRunContext(ctx))
+	}
 	standalone := sink == nil
 	if !standalone {
 		sink.Reset()
@@ -126,6 +142,11 @@ func injectSites(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOpti
 	st := m.Run(cfg.MaxInstructions)
 	if standalone && cfg.Metrics != nil {
 		st.Export(cfg.Metrics)
+	}
+	if st.Interrupted {
+		return InjectionResult{}, &InterruptedError{
+			Benchmark: p.Name, Mode: cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err(),
+		}
 	}
 	if cerr := classify(&res, st, inj, oracle); cerr != nil {
 		return InjectionResult{}, cerr
@@ -245,6 +266,19 @@ type CampaignSummary struct {
 	// value; DetectedOfActive is the empirical detection coverage over those.
 	ActiveRuns       int
 	DetectedOfActive int
+	// Quarantined lists the runs the resilience layer excluded (panic,
+	// exhausted budget), each with a standalone repro command. Their
+	// Results entries carry OutcomeQuarantined.
+	Quarantined []RunFailure
+	// Resumed counts runs served from the journal instead of executed —
+	// reported here (and typically on stderr), never in the metrics
+	// registry, so resumed and uninterrupted campaigns stay byte-identical.
+	Resumed int
+	// Retried counts re-executions beyond each run's first attempt.
+	Retried int
+	// WatchdogStalls counts hung-worker reports. Wall-clock driven, so it
+	// also stays out of the deterministic registry.
+	WatchdogStalls int
 }
 
 // DetectionRate returns detected / (detected + silent) over activated runs —
@@ -314,11 +348,50 @@ func (w *campaignWorker) record(r InjectionResult) {
 	}
 }
 
+// recordRecord accumulates one journalable run record: the classified
+// result plus path-choice and retry counters. This is the single place a
+// campaign run touches the registry, for both live and journal-replayed
+// runs — the property that makes resumed metrics byte-identical.
+// Quarantined runs contribute only campaign.quarantined* keys, so a
+// campaign's metrics over its healthy sites are unchanged by the presence
+// of quarantined ones.
+func (w *campaignWorker) recordRecord(rec runRecord) {
+	if w.reg == nil {
+		return
+	}
+	switch rec.Path {
+	case pathWarm:
+		w.reg.Counter("campaign.warm_served").Inc()
+	case pathForked:
+		w.reg.Counter("campaign.forked_runs").Inc()
+		w.reg.Histogram("campaign.fork.cycle", forkCycleBounds).Observe(float64(rec.ForkCycle))
+	case pathCold:
+		w.reg.Counter("campaign.cold_runs").Inc()
+	}
+	if rec.Failure != nil {
+		w.reg.Counter("campaign.quarantined").Inc()
+		if rec.Retries > 0 {
+			w.reg.Counter("campaign.quarantined.retries").Add(uint64(rec.Retries))
+		}
+		return
+	}
+	if rec.Retries > 0 {
+		w.reg.Counter("campaign.retries").Add(uint64(rec.Retries))
+	}
+	w.record(rec.Result)
+}
+
 // CampaignProgram is Campaign over an explicit program. With
 // cfg.CheckpointInterval > 0 the per-site runs fork from periodic snapshots
 // of one shared fault-free warmup (see CampaignPlan); otherwise every run is
 // cold. Either way the golden reference is served from one memoized oracle
 // and each worker reuses one detection sink across its runs.
+//
+// The resilience layer wraps every run: cfg.Resilience isolates, budgets
+// and retries failures; cfg.Journal makes the campaign resumable; cfg.Ctx
+// cancellation (SIGINT) drains the fan-out, merges the partial per-worker
+// registries into cfg.Metrics and syncs the journal before returning the
+// context's error.
 func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions) (*CampaignSummary, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -334,44 +407,93 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 		return w
 	}
 
-	var runOne func(w *campaignWorker, worker, i int) (InjectionResult, error)
+	runner := &campaignRunner{cfg: cfg, prog: p, sites: sites, opts: opts}
 	if cfg.CheckpointInterval > 0 {
 		pl, err := NewCampaignPlan(cfg, p, sites, opts)
 		if err != nil {
 			return nil, err
 		}
-		runOne = func(w *campaignWorker, _, i int) (InjectionResult, error) {
-			r, err := pl.inject(i, i+1, w.sink, w.reg)
-			if err == nil {
-				w.record(r)
-			}
-			return r, err
+		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, runPath, int64, error) {
+			return pl.injectCtx(runCtx, i, i+1, w.sink)
 		}
 	} else {
 		oracle := newGoldenOracle(p)
-		runOne = func(w *campaignWorker, _, i int) (InjectionResult, error) {
-			r, err := injectSites(cfg, p, sites[i:i+1], opts, w.sink, oracle)
-			if err == nil {
-				if w.reg != nil {
-					w.reg.Counter("campaign.cold_runs").Inc()
-				}
-				w.record(r)
-			}
-			return r, err
+		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, runPath, int64, error) {
+			r, err := injectSites(runCtx, cfg, p, sites[i:i+1], opts, w.sink, oracle)
+			return r, pathCold, 0, err
 		}
 	}
-	results, states, err := parallel.MapWorkerState(cfg.Parallel, len(sites), newWorker, runOne)
+
+	var wd *parallel.Watchdog
+	if cfg.Resilience.watchdogArmed() {
+		wd = parallel.NewWatchdog(cfg.Resilience.StallAfter, cfg.Resilience.OnStall)
+	}
+	runOne := func(w *campaignWorker, worker, i int) (InjectionResult, error) {
+		if wd != nil {
+			wd.Begin(worker, i)
+			defer wd.End(worker)
+		}
+		var rec runRecord
+		if cfg.Journal != nil {
+			if done, ok := cfg.Journal.done[i]; ok {
+				// Journal replay: contribute to the registry and summary
+				// exactly as the original execution did.
+				rec = done
+				runner.resumed.Add(1)
+				if rec.Retries > 0 {
+					runner.retried.Add(int64(rec.Retries))
+				}
+				if rec.Failure != nil {
+					runner.mu.Lock()
+					runner.failures = append(runner.failures, *rec.Failure)
+					runner.mu.Unlock()
+				}
+				w.recordRecord(rec)
+				return rec.Result, nil
+			}
+		}
+		rec, err := runner.run(w, i)
+		if err != nil {
+			return InjectionResult{}, err
+		}
+		if cfg.Journal != nil {
+			if jerr := cfg.Journal.j.Append(i, rec); jerr != nil {
+				return InjectionResult{}, jerr
+			}
+		}
+		w.recordRecord(rec)
+		return rec.Result, nil
+	}
+	results, states, err := parallel.MapWorkerStateCtx(cfg.Ctx, cfg.Parallel, len(sites), newWorker, runOne)
+	// Partial flush happens even on error/cancel: the per-worker registries
+	// hold completed runs, and the journal's pending batch must reach disk
+	// for resume to see them.
+	if cfg.Metrics != nil {
+		for _, w := range states {
+			if merr := cfg.Metrics.Merge(w.reg); merr != nil && err == nil {
+				err = merr
+			}
+		}
+	}
+	if cfg.Journal != nil {
+		if serr := cfg.Journal.Sync(); serr != nil && err == nil {
+			err = serr
+		}
+	}
+	stalls := 0
+	if wd != nil {
+		stalls = wd.Stop()
+	}
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Metrics != nil {
-		for _, w := range states {
-			if merr := cfg.Metrics.Merge(w.reg); merr != nil {
-				return nil, merr
-			}
-		}
+	sum := &CampaignSummary{
+		Results: results, Counts: make(map[Outcome]int),
+		Quarantined:    runner.quarantined(),
+		Resumed:        int(runner.resumed.Load()),
+		Retried:        int(runner.retried.Load()),
+		WatchdogStalls: stalls,
 	}
-	sum := &CampaignSummary{Results: results, Counts: make(map[Outcome]int)}
 	for _, r := range results {
 		sum.Counts[r.Outcome]++
 		if r.Activations > 0 {

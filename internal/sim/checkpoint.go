@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,7 +9,6 @@ import (
 	"blackjack/internal/detect"
 	"blackjack/internal/fault"
 	"blackjack/internal/isa"
-	"blackjack/internal/obs"
 	"blackjack/internal/pipeline"
 )
 
@@ -153,7 +153,13 @@ func (pl *CampaignPlan) warmup() {
 			pl.warmValid = false
 		}
 	}()
-	m, err := pipeline.New(pl.cfg.Machine, pl.cfg.Mode, pl.prog, pipeline.WithInjector(pl.probe))
+	wopts := []pipeline.Option{pipeline.WithInjector(pl.probe)}
+	if pl.cfg.Ctx != nil {
+		// Honor campaign-level shutdown during the warmup too; the
+		// injections that follow observe the same cancellation and abort.
+		wopts = append(wopts, pipeline.WithRunContext(pl.cfg.Ctx))
+	}
+	m, err := pipeline.New(pl.cfg.Machine, pl.cfg.Mode, pl.prog, wopts...)
 	if err != nil {
 		return
 	}
@@ -166,6 +172,11 @@ func (pl *CampaignPlan) warmup() {
 			uses:  pl.probe.UsesSnapshot(),
 		})
 	})
+	if st.Interrupted {
+		pl.cps = nil
+		pl.warmValid = false
+		return
+	}
 	pl.warm = *st
 	pl.warmValid = true
 }
@@ -181,7 +192,8 @@ func (pl *CampaignPlan) Inject(i int) (InjectionResult, error) {
 	if i < 0 || i >= len(pl.sites) {
 		return InjectionResult{}, fmt.Errorf("sim: site index %d out of range [0,%d)", i, len(pl.sites))
 	}
-	return pl.inject(i, i+1, nil, nil)
+	r, _, _, err := pl.injectCtx(nil, i, i+1, nil)
+	return r, err
 }
 
 // InjectRange classifies the simultaneous (uncorrelated) faults
@@ -191,14 +203,16 @@ func (pl *CampaignPlan) InjectRange(lo, hi int) (InjectionResult, error) {
 	if lo < 0 || hi > len(pl.sites) || lo >= hi {
 		return InjectionResult{}, fmt.Errorf("sim: site range [%d,%d) invalid for %d sites", lo, hi, len(pl.sites))
 	}
-	return pl.inject(lo, hi, nil, nil)
+	r, _, _, err := pl.injectCtx(nil, lo, hi, nil)
+	return r, err
 }
 
-// inject runs the subset sites[lo:hi] with a reusable sink (nil: the machine
-// allocates its own). A non-nil reg receives the plan's path-choice metrics
-// (warm-served / cold / forked counters and the fork-cycle histogram); batch
-// callers pass their worker's private registry.
-func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink, reg *obs.Registry) (InjectionResult, error) {
+// injectCtx runs the subset sites[lo:hi] with a reusable sink (nil: the
+// machine allocates its own) under an optional run context (nil:
+// unbudgeted). It reports which path served the run — warm, forked (with
+// the fork cycle) or cold — so callers can record and journal path-choice
+// metrics that replay identically on resume.
+func (pl *CampaignPlan) injectCtx(ctx context.Context, lo, hi int, sink *detect.Sink) (InjectionResult, runPath, int64, error) {
 	subset := pl.sites[lo:hi]
 	minFire := int64(-1)
 	if pl.warmValid {
@@ -211,28 +225,20 @@ func (pl *CampaignPlan) inject(lo, hi int, sink *detect.Sink, reg *obs.Registry)
 		if !fires {
 			// No member can ever corrupt a value: the injected run would
 			// replay the warmup cycle for cycle. Serve the warmup's result.
-			if reg != nil {
-				reg.Counter("campaign.warm_served").Inc()
-			}
 			res := InjectionResult{Site: subset[0], Mode: pl.cfg.Mode, DetectionLatency: -1}
 			if err := classify(&res, &pl.warm, &fault.Injector{}, pl.oracle); err != nil {
-				return InjectionResult{}, err
+				return InjectionResult{}, "", 0, err
 			}
-			return res, nil
+			return res, pathWarm, 0, nil
 		}
 	}
 	cp := pl.latestBefore(minFire)
 	if cp == nil {
-		if reg != nil {
-			reg.Counter("campaign.cold_runs").Inc()
-		}
-		return injectSites(pl.cfg, pl.prog, subset, pl.opts, sink, pl.oracle)
+		r, err := injectSites(ctx, pl.cfg, pl.prog, subset, pl.opts, sink, pl.oracle)
+		return r, pathCold, 0, err
 	}
-	if reg != nil {
-		reg.Counter("campaign.forked_runs").Inc()
-		reg.Histogram("campaign.fork.cycle", forkCycleBounds).Observe(float64(cp.cycle))
-	}
-	return pl.forkRun(cp, lo, hi, sink)
+	r, err := pl.forkRun(ctx, cp, lo, hi, sink)
+	return r, pathForked, cp.cycle, err
 }
 
 // latestBefore returns the newest checkpoint strictly before the given
@@ -250,12 +256,16 @@ func (pl *CampaignPlan) latestBefore(cycle int64) *planCheckpoint {
 
 // forkRun resumes the warmup from a checkpoint with a real injector
 // installed, seeded so transient use counting continues where the probe's
-// left off. Mirrors injectSites' classification and panic handling exactly.
-func (pl *CampaignPlan) forkRun(cp *planCheckpoint, lo, hi int, sink *detect.Sink) (res InjectionResult, err error) {
+// left off. Mirrors injectSites' classification, budget and panic handling
+// exactly.
+func (pl *CampaignPlan) forkRun(ctx context.Context, cp *planCheckpoint, lo, hi int, sink *detect.Sink) (res InjectionResult, err error) {
 	subset := pl.sites[lo:hi]
 	inj := &fault.Injector{Sites: subset, SplitPayload: pl.opts.SplitPayload}
 	inj.SeedUses(cp.uses[lo:hi])
 	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
+	if ctx != nil {
+		mopts = append(mopts, pipeline.WithRunContext(ctx))
+	}
 	if sink != nil {
 		sink.Reset()
 		mopts = append(mopts, pipeline.WithSink(sink))
@@ -271,6 +281,11 @@ func (pl *CampaignPlan) forkRun(cp *planCheckpoint, lo, hi int, sink *detect.Sin
 		}
 	}()
 	st := m.Run(pl.cfg.MaxInstructions)
+	if st.Interrupted {
+		return InjectionResult{}, &InterruptedError{
+			Benchmark: pl.prog.Name, Mode: pl.cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err(),
+		}
+	}
 	if cerr := classify(&res, st, inj, pl.oracle); cerr != nil {
 		return InjectionResult{}, cerr
 	}

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"blackjack/internal/detect"
@@ -51,6 +52,20 @@ type Config struct {
 	// with concurrently running simulations. Simulation results are
 	// unaffected.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, bounds every entry point built on this config:
+	// cancellation (typically SIGINT via signal.NotifyContext) stops new
+	// runs, drains in-flight ones at the next context poll, flushes
+	// partial metrics and journal batches, and surfaces the context's
+	// error. nil means uncancellable, exactly the legacy behavior.
+	Ctx context.Context
+	// Resilience tunes per-run isolation, wall-clock budgets, retries and
+	// the hung-worker watchdog for campaign entry points; single runs
+	// honor RunTimeout. The zero value disables all of it.
+	Resilience Resilience
+	// Journal, when non-nil, records every completed campaign run so an
+	// interrupted campaign resumes where it stopped (see
+	// OpenCampaignJournal). Only campaign entry points use it.
+	Journal *CampaignJournal
 }
 
 // Default returns a Table 1 machine in the given mode with the given budget.
@@ -99,6 +114,22 @@ func (r *Result) NormalizedPerf(baseline *Result) float64 {
 		return 0
 	}
 	return float64(baseline.Stats.Cycles) / float64(r.Stats.Cycles)
+}
+
+// runContext derives a single run's context from the config: cfg.Ctx plus
+// the per-run wall-clock budget. The returned context is nil — meaning "no
+// polling at all" — when neither is configured, preserving the legacy
+// hot-loop exactly.
+func (c Config) runContext() (context.Context, context.CancelFunc) {
+	ctx := c.Ctx
+	if c.Resilience.RunTimeout > 0 {
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		return context.WithTimeout(base, c.Resilience.RunTimeout)
+	}
+	return ctx, func() {}
 }
 
 // obsOptions translates the config's observability attachments into machine
@@ -167,12 +198,20 @@ func (c Config) observeActivations(inj *fault.Injector) {
 }
 
 // RunProgram executes one program on one machine configuration and verifies
-// the output stream against the golden model.
+// the output stream against the golden model. A deadlocked run returns a
+// typed *DeadlockError; a run stopped by cfg.Ctx or the per-run budget
+// returns a typed *InterruptedError.
 func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, cfg.obsOptions()...)
+	mopts := cfg.obsOptions()
+	ctx, cancel := cfg.runContext()
+	defer cancel()
+	if ctx != nil {
+		mopts = append(mopts, pipeline.WithRunContext(ctx))
+	}
+	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, mopts...)
 	if err != nil {
 		return nil, err
 	}
@@ -181,9 +220,14 @@ func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
 	if cfg.Metrics != nil {
 		st.Export(cfg.Metrics)
 	}
+	if st.Interrupted {
+		return nil, &InterruptedError{Benchmark: p.Name, Mode: cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err()}
+	}
 	if st.Deadlocked {
-		return nil, fmt.Errorf("sim: %s/%v wedged at cycle %d (committed %d/%d)",
-			p.Name, cfg.Mode, st.Cycles, st.Committed[0], cfg.MaxInstructions)
+		return nil, &DeadlockError{
+			Benchmark: p.Name, Mode: cfg.Mode, Cycle: st.Cycles,
+			Committed: st.Committed[0], Budget: cfg.MaxInstructions,
+		}
 	}
 	g, err := isa.NewMachine(p)
 	if err != nil {

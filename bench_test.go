@@ -292,10 +292,11 @@ func BenchmarkMachineRunAllocs(b *testing.B) {
 // serial wall-clock equals total work, so the cold/checkpointed ns/op ratio
 // is the per-run cost the checkpoint/fork plan removes (the summaries are
 // byte-identical — see sim's TestCampaignByteIdenticalAcrossIntervals).
-func benchCampaign16(b *testing.B, interval int64) {
+func benchCampaign16(b *testing.B, interval int64, ff bool) {
 	cfg := DefaultConfig(ModeBlackJack, 30_000)
 	cfg.Parallel = 1
 	cfg.CheckpointInterval = interval
+	cfg.FastForward = ff
 	sites := LatentFaultSites(cfg.Machine)
 	b.ReportAllocs()
 	b.ResetTimer()
@@ -311,11 +312,17 @@ func benchCampaign16(b *testing.B, interval int64) {
 }
 
 // BenchmarkCampaignCold16 replays the fault-free prefix cold in every run.
-func BenchmarkCampaignCold16(b *testing.B) { benchCampaign16(b, 0) }
+func BenchmarkCampaignCold16(b *testing.B) { benchCampaign16(b, 0, false) }
 
 // BenchmarkCampaignCheckpointed16 forks each run from the latest warmup
 // snapshot preceding its fault's first activation (interval 2500 cycles).
-func BenchmarkCampaignCheckpointed16(b *testing.B) { benchCampaign16(b, 2500) }
+func BenchmarkCampaignCheckpointed16(b *testing.B) { benchCampaign16(b, 2500, false) }
+
+// BenchmarkCampaignFF16 runs the campaign sampled: each injection's
+// fault-free prefix executes on the functional model and only its activation
+// window is simulated cycle-accurately (outcome table identical to cold —
+// the sampled tests prove it; this measures the speedup).
+func BenchmarkCampaignFF16(b *testing.B) { benchCampaign16(b, 0, true) }
 
 // benchSuiteParallel measures full-suite wall clock at a given worker count,
 // reporting aggregate committed-instruction throughput across all (benchmark,

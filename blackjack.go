@@ -92,6 +92,19 @@ func Run(cfg Config, benchmark string) (*Result, error) { return sim.Run(cfg, be
 // RunProgram executes a custom program.
 func RunProgram(cfg Config, p *Program) (*Result, error) { return sim.RunProgram(cfg, p) }
 
+// DefaultFFWarmup is the default fast-forward warmup lead in committed
+// instructions (see Config.FFWarmup).
+const DefaultFFWarmup = sim.DefaultFFWarmup
+
+// RunSampled executes a benchmark with a functional fast-forward: the
+// golden ISA emulator retires the first skip instructions, and the
+// cycle-accurate pipeline simulates only the rest from that architectural
+// state. Output verification stays whole-program; Stats.Cycles covers the
+// simulated window only.
+func RunSampled(cfg Config, benchmark string, skip int) (*Result, error) {
+	return sim.RunSampled(cfg, benchmark, skip)
+}
+
 // RunAllModes runs a benchmark under all four modes with the same budget.
 func RunAllModes(machine MachineConfig, benchmark string, maxInstructions int) (map[Mode]*Result, error) {
 	return sim.RunAllModes(machine, benchmark, maxInstructions)

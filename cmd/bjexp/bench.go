@@ -12,8 +12,9 @@ import (
 )
 
 // campaignBench is the committed shape of BENCH_campaign.json: one measured
-// comparison of a fault campaign run cold versus checkpointed, plus the plain
-// simulation rate the campaign's per-run cost is built from.
+// comparison of a fault campaign run cold versus checkpointed versus
+// fast-forwarded (sampled), plus the plain simulation rate the campaign's
+// per-run cost is built from.
 type campaignBench struct {
 	Benchmark          string  `json:"benchmark"`
 	Mode               string  `json:"mode"`
@@ -21,21 +22,28 @@ type campaignBench struct {
 	Sites              int     `json:"sites"`
 	Parallel           int     `json:"parallel"`
 	CheckpointInterval int64   `json:"checkpoint_interval"`
+	FFWarmup           int     `json:"ff_warmup"`
 	NsPerInstr         float64 `json:"ns_per_instr"`
 	ColdCampaignMs     float64 `json:"cold_campaign_ms"`
 	CkptCampaignMs     float64 `json:"checkpointed_campaign_ms"`
+	FFCampaignMs       float64 `json:"ff_campaign_ms"`
 	Speedup            float64 `json:"speedup"`
+	FFSpeedup          float64 `json:"ff_speedup"`
+	FFSpeedupVsCkpt    float64 `json:"ff_speedup_vs_ckpt"`
 	ColdAllocsPerRun   uint64  `json:"cold_allocs_per_run"`
 	CkptAllocsPerRun   uint64  `json:"checkpointed_allocs_per_run"`
+	FFAllocsPerRun     uint64  `json:"ff_allocs_per_run"`
 }
 
-// runBenchJSON measures the 16-site latent-defect BlackJack campaign cold and
-// checkpointed and writes the comparison as JSON. Both campaigns produce
-// byte-identical summaries (verified here, not just in tests), so the
-// wall-clock delta is pure redundant replay removed. Measurement defaults to
-// one worker: serial wall-clock equals total work, so the ratio is the
-// per-run cost reduction rather than an artifact of scheduler luck.
-func runBenchJSON(path, bench string, n, par int, interval int64) error {
+// runBenchJSON measures the 16-site latent-defect BlackJack campaign cold,
+// checkpointed and fast-forwarded (sampled), and writes the comparison as
+// JSON. Cold and checkpointed campaigns produce byte-identical summaries
+// (verified here, not just in tests); the sampled campaign is held to its
+// own contract — identical outcome classes and activated flags, with cycle
+// figures window-relative. Measurement defaults to one worker: serial
+// wall-clock equals total work, so each ratio is the per-run cost reduction
+// rather than an artifact of scheduler luck.
+func runBenchJSON(path, bench string, n, par int, interval int64, ffWarmup int) error {
 	if interval <= 0 {
 		interval = 2500
 	}
@@ -44,6 +52,7 @@ func runBenchJSON(path, bench string, n, par int, interval int64) error {
 	}
 	cfg := blackjack.DefaultConfig(blackjack.ModeBlackJack, min(n, 30_000))
 	cfg.Parallel = par
+	cfg.FFWarmup = ffWarmup
 	sites := blackjack.LatentFaultSites(cfg.Machine)
 	opts := blackjack.InjectOptions{SplitPayload: true}
 
@@ -55,9 +64,10 @@ func runBenchJSON(path, bench string, n, par int, interval int64) error {
 	}
 	nsPerInstr := float64(time.Since(simStart).Nanoseconds()) / float64(r.Stats.Committed[0])
 
-	measure := func(ckpt int64) (*blackjack.CampaignSummary, time.Duration, uint64, error) {
+	measure := func(ckpt int64, ff bool) (*blackjack.CampaignSummary, time.Duration, uint64, error) {
 		c := cfg
 		c.CheckpointInterval = ckpt
+		c.FastForward = ff
 		var before, after runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&before)
@@ -71,11 +81,15 @@ func runBenchJSON(path, bench string, n, par int, interval int64) error {
 		return sum, elapsed, (after.Mallocs - before.Mallocs) / uint64(len(sites)), nil
 	}
 
-	coldSum, coldT, coldAllocs, err := measure(0)
+	coldSum, coldT, coldAllocs, err := measure(0, false)
 	if err != nil {
 		return err
 	}
-	ckptSum, ckptT, ckptAllocs, err := measure(interval)
+	ckptSum, ckptT, ckptAllocs, err := measure(interval, false)
+	if err != nil {
+		return err
+	}
+	ffSum, ffT, ffAllocs, err := measure(0, true)
 	if err != nil {
 		return err
 	}
@@ -83,8 +97,19 @@ func runBenchJSON(path, bench string, n, par int, interval int64) error {
 		if !reflect.DeepEqual(coldSum.Results[i], ckptSum.Results[i]) {
 			return fmt.Errorf("bench: site %d diverged between cold and checkpointed campaigns", i)
 		}
+		// The sampled contract: same outcome class, same activated flag.
+		// Cycle counts and latencies of fast-forwarded runs are
+		// window-relative, so they are deliberately not compared.
+		c, f := coldSum.Results[i], ffSum.Results[i]
+		if c.Outcome != f.Outcome || (c.Activations > 0) != (f.Activations > 0) {
+			return fmt.Errorf("bench: site %d outcome diverged between cold (%v) and sampled (%v) campaigns",
+				i, c.Outcome, f.Outcome)
+		}
 	}
 
+	if ffWarmup <= 0 {
+		ffWarmup = blackjack.DefaultFFWarmup
+	}
 	b := campaignBench{
 		Benchmark:          bench,
 		Mode:               blackjack.ModeBlackJack.String(),
@@ -92,12 +117,17 @@ func runBenchJSON(path, bench string, n, par int, interval int64) error {
 		Sites:              len(sites),
 		Parallel:           par,
 		CheckpointInterval: interval,
+		FFWarmup:           ffWarmup,
 		NsPerInstr:         nsPerInstr,
 		ColdCampaignMs:     float64(coldT.Microseconds()) / 1000,
 		CkptCampaignMs:     float64(ckptT.Microseconds()) / 1000,
+		FFCampaignMs:       float64(ffT.Microseconds()) / 1000,
 		Speedup:            float64(coldT) / float64(ckptT),
+		FFSpeedup:          float64(coldT) / float64(ffT),
+		FFSpeedupVsCkpt:    float64(ckptT) / float64(ffT),
 		ColdAllocsPerRun:   coldAllocs,
 		CkptAllocsPerRun:   ckptAllocs,
+		FFAllocsPerRun:     ffAllocs,
 	}
 	data, err := json.MarshalIndent(b, "", "  ")
 	if err != nil {
@@ -107,7 +137,8 @@ func runBenchJSON(path, bench string, n, par int, interval int64) error {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bjexp: %d-site campaign on %q: cold %.0fms, checkpointed %.0fms (%.1fx), %.0f ns/instr -> %s\n",
-		b.Sites, bench, b.ColdCampaignMs, b.CkptCampaignMs, b.Speedup, b.NsPerInstr, path)
+	fmt.Fprintf(os.Stderr, "bjexp: %d-site campaign on %q: cold %.0fms, checkpointed %.0fms (%.1fx), fast-forwarded %.0fms (%.1fx cold, %.1fx ckpt), %.0f ns/instr -> %s\n",
+		b.Sites, bench, b.ColdCampaignMs, b.CkptCampaignMs, b.Speedup,
+		b.FFCampaignMs, b.FFSpeedup, b.FFSpeedupVsCkpt, b.NsPerInstr, path)
 	return nil
 }

@@ -46,7 +46,9 @@ func main() {
 		svgDir  = flag.String("svg", "", "also render the figures as SVG charts into this directory")
 		par     = flag.Int("parallel", 0, "worker count for suite/campaign/sweep fan-out (0 = NumCPU; output is identical at any value)")
 		ckpt    = flag.Int64("checkpoint-interval", 0, "campaign warmup snapshot interval in cycles for the fault-injection experiments (0 = every run cold; output is identical at any value)")
-		bjJSON  = flag.String("bench-json", "", "measure campaign wall-clock (cold vs checkpointed), ns/instr and allocs/run, write JSON here (e.g. BENCH_campaign.json) and exit")
+		ff      = flag.Bool("ff", false, "sampled fault campaigns: fast-forward each injection's fault-free prefix on the functional model (outcome tables match full simulation; cycle-based columns of fast-forwarded runs are window-relative)")
+		ffWarm  = flag.Int("ff-warmup", 0, "fast-forward warmup lead in committed instructions (0 = default)")
+		bjJSON  = flag.String("bench-json", "", "measure campaign wall-clock (cold vs checkpointed vs fast-forwarded), ns/instr and allocs/run, write JSON here (e.g. BENCH_campaign.json) and exit")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
@@ -73,6 +75,8 @@ func main() {
 	opts.Instructions = *n
 	opts.Parallel = *par
 	opts.CheckpointInterval = *ckpt
+	opts.FastForward = *ff
+	opts.FFWarmup = *ffWarm
 	opts.Ctx = ctx
 	opts.JournalDir = *journalDir
 	opts.Resilience = sim.Resilience{
@@ -91,7 +95,7 @@ func main() {
 	}
 
 	if *bjJSON != "" {
-		if err := runBenchJSON(*bjJSON, *bench, *n, *par, *ckpt); err != nil {
+		if err := runBenchJSON(*bjJSON, *bench, *n, *par, *ckpt, *ffWarm); err != nil {
 			fatal(err)
 		}
 		return

@@ -49,6 +49,10 @@ func main() {
 		matrix     = flag.Bool("matrix", false, "run the fault-injection coverage matrix instead of fuzzing")
 		matrixMode = flag.String("matrix-mode", "blackjack", "machine mode for the coverage matrix (srt, blackjack-ns, blackjack)")
 
+		sampled      = flag.Bool("sampled", false, "verify sampled-campaign equivalence instead of fuzzing: run the latent-defect campaign full and fast-forwarded and require identical outcome tables")
+		sampledBench = flag.String("sampled-bench", "gcc", "benchmark for -sampled")
+		sampledN     = flag.Int("sampled-n", 30_000, "committed-instruction budget for -sampled")
+
 		replay     = flag.String("replay", "", "replay a corpus directory instead of fuzzing")
 		emitCorpus = flag.Int("emit-corpus", 0, "write this many generator seeds as corpus files and exit")
 		corpusDir  = flag.String("corpus-dir", "internal/diffcheck/testdata/corpus", "corpus directory for -emit-corpus")
@@ -63,6 +67,8 @@ func main() {
 	switch {
 	case *matrix:
 		runMatrix(*matrixMode, *maxInstr, *seed, *par)
+	case *sampled:
+		runSampled(*matrixMode, *sampledBench, *sampledN, *par)
 	case *replay != "":
 		runReplay(*replay, *maxInstr)
 	case *emitCorpus > 0:
@@ -185,6 +191,32 @@ func runMatrix(modeName string, maxInstr int, seed uint64, par int) {
 		os.Exit(1)
 	}
 	fmt.Println("coverage matrix: every fault class x structure exercised; no silent corruption")
+}
+
+// runSampled is the sampled-simulation soundness gate: the latent-defect
+// campaign (the shape fast-forward exists to accelerate) must classify every
+// site identically under full and sampled execution.
+func runSampled(modeName, bench string, n, par int) {
+	mode, err := blackjack.ParseMode(modeName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := blackjack.DefaultConfig(mode, n)
+	cfg.Parallel = par
+	p, err := blackjack.BenchmarkProgram(bench)
+	if err != nil {
+		fatal(err)
+	}
+	sites := blackjack.LatentFaultSites(cfg.Machine)
+	rep, err := diffcheck.CompareSampledCampaign(cfg, p, sites, blackjack.InjectOptions{SplitPayload: true})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+	if !rep.OK() {
+		os.Exit(1)
+	}
+	fmt.Println("sampled equivalence: every site classified identically under full and fast-forwarded simulation")
 }
 
 func runReplay(dir string, maxInstr int) {

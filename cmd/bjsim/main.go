@@ -31,6 +31,9 @@ func main() {
 		list  = flag.Bool("list", false, "list benchmarks and exit")
 		trace = flag.Int("trace", 0, "print a pipeline trace of the first N events")
 
+		ff     = flag.Int("ff", 0, "sampled run: fast-forward to this committed-instruction offset on the functional model, handing off one warmup lead earlier, and simulate only the rest cycle-accurately (0 = whole run cycle-accurate)")
+		ffWarm = flag.Int("ff-warmup", 0, "fast-forward warmup lead in committed instructions before the -ff offset (0 = default)")
+
 		traceOut    = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (open in chrome://tracing or Perfetto)")
 		traceEvents = flag.Int("trace-events", 0, "structured-trace ring capacity in events (0 = 65536); the ring keeps the last N events")
 		metricsOut  = flag.String("metrics-out", "", "write the run's metrics registry as JSON to this file")
@@ -84,6 +87,9 @@ func main() {
 		runTraced(cfg, *bench, *trace)
 		return
 	}
+	if *ff > 0 && *allModes {
+		fatal(fmt.Errorf("-ff applies to a plain single run (not -all-modes)"))
+	}
 	if *allModes {
 		rs, err := blackjack.RunAllModes(cfg.Machine, *bench, cfg.MaxInstructions)
 		if err != nil {
@@ -100,7 +106,18 @@ func main() {
 		}
 		return
 	}
-	res, err := blackjack.Run(cfg, *bench)
+	run := func() (*blackjack.Result, error) { return blackjack.Run(cfg, *bench) }
+	if *ff > 0 {
+		warm := *ffWarm
+		if warm <= 0 {
+			warm = blackjack.DefaultFFWarmup
+		}
+		skip := max(*ff-warm, 0)
+		fmt.Printf("fast-forwarded   %d instrs (functional handoff %d before -ff %d); cycle figures cover the simulated window only\n",
+			skip, warm, *ff)
+		run = func() (*blackjack.Result, error) { return blackjack.RunSampled(cfg, *bench, skip) }
+	}
+	res, err := run()
 	if err != nil {
 		// A deadlock is a distinct, scriptable failure: the machine wedged
 		// before exhausting its budget (the condition campaigns classify as

@@ -1,0 +1,78 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"blackjack/internal/pipeline"
+	"blackjack/internal/prog"
+	"blackjack/internal/sim"
+)
+
+// The sampled-equivalence checker must pass on the canonical sampled
+// campaign shape: LatentSites (always-on, late-arming, trigger-gated) on a
+// long run, where the fast-forward path actually engages.
+func TestSampledEquivalenceLatentSites(t *testing.T) {
+	cfg := sim.Default(pipeline.ModeBlackJack, 30_000)
+	cfg.Machine.MaxCycles = 200_000
+	cfg.Parallel = 4
+	p, err := prog.Benchmark("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := sim.LatentSites(cfg.Machine)
+	rep, err := CompareSampledCampaign(cfg, p, sites, sim.InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("sampled campaign diverged from full simulation:\n%s", rep)
+	}
+	if rep.Sites != len(sites) {
+		t.Errorf("report covers %d sites, want %d", rep.Sites, len(sites))
+	}
+}
+
+// Equivalence must hold across benchmarks and both redundant modes — the
+// sweep bjfuzz's -sampled command runs in CI.
+func TestSampledEquivalenceAcrossBenchmarks(t *testing.T) {
+	for _, mode := range []pipeline.Mode{pipeline.ModeBlackJack, pipeline.ModeSRT} {
+		for _, bench := range []string{"gzip", "crafty"} {
+			t.Run(mode.String()+"/"+bench, func(t *testing.T) {
+				cfg := sim.Default(mode, 20_000)
+				cfg.Machine.MaxCycles = 200_000
+				cfg.Parallel = 4
+				p, err := prog.Benchmark(bench)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sites := sim.LatentSites(cfg.Machine)
+				rep, err := CompareSampledCampaign(cfg, p, sites, sim.InjectOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !rep.OK() {
+					t.Errorf("%v/%s diverged:\n%s", mode, bench, rep)
+				}
+			})
+		}
+	}
+}
+
+// Transient-bearing site lists must also survive the checker (they take the
+// bit-exact fallback paths under fast-forward).
+func TestSampledEquivalenceTransients(t *testing.T) {
+	cfg := sim.Default(pipeline.ModeBlackJack, 5000)
+	cfg.Parallel = 4
+	p, err := prog.Benchmark("gzip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sites := sim.TransientSites(cfg.Machine, 200)
+	rep, err := CompareSampledCampaign(cfg, p, sites, sim.InjectOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Errorf("transient campaign diverged under sampling:\n%s", rep)
+	}
+}

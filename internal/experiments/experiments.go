@@ -43,6 +43,16 @@ type Options struct {
 	// preceding its fault's first activation (see sim.CampaignPlan). Every
 	// figure is byte-identical at every interval; 0 runs every injection cold.
 	CheckpointInterval int64
+	// FastForward makes the fault-injection campaigns sampled
+	// (sim.Config.FastForward): each injection's fault-free prefix runs on
+	// the functional model and only its activation window is simulated
+	// cycle-accurately. Outcome tables match full simulation; cycle counts
+	// and latencies of fast-forwarded runs are window-relative, so figures
+	// built on those columns are not byte-identical to full runs.
+	FastForward bool
+	// FFWarmup is the fast-forward warmup lead in committed instructions
+	// (<= 0 selects sim.DefaultFFWarmup).
+	FFWarmup int
 	// Metrics, when non-nil, accumulates the experiment's metrics
 	// (internal/obs): RunSuite exports every run's pipeline.Stats in
 	// deterministic (benchmark, mode) order, and the campaign experiments
@@ -545,6 +555,7 @@ func ExtAFaultInjection(opts Options, benchmark string) ([]ExtARow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+			FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 			Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}
 		sum, err := runCampaign(opts, fmt.Sprintf("exta-%s-%s", benchmark, mode), cfg,
@@ -658,6 +669,7 @@ func ExtCPayloadRAM(opts Options, benchmarks []string) ([]ExtCRow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+			FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 			Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}
 		shared, err := runCampaign(opts, "extc-"+b+"-shared", cfg, b, sites, sim.InjectOptions{SplitPayload: false})
@@ -885,7 +897,8 @@ func ExtFMultiFault(opts Options, benchmark string, maxFaults int) ([]ExtFRow, e
 	cfg := sim.Config{
 		Machine: opts.Machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
 		CheckpointInterval: opts.CheckpointInterval,
-		Ctx:                opts.Ctx, Resilience: opts.Resilience,
+		FastForward:        opts.FastForward, FFWarmup: opts.FFWarmup,
+		Ctx: opts.Ctx, Resilience: opts.Resilience,
 	}
 	// Every window is a contiguous range of the same site list, so with
 	// checkpointing enabled all of them fork from one shared warmup plan
@@ -954,6 +967,7 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 		cfg := sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+			FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 			Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
 		}
 		sum, err := runCampaign(opts, fmt.Sprintf("extg-%s-%s", benchmark, mode), cfg,

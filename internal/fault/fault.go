@@ -111,6 +111,13 @@ type Site struct {
 	// FireAt selects which eligible use a transient corrupts (1-based; 0
 	// means 1).
 	FireAt uint64
+
+	// ArmAt, when positive on a non-transient site, models a latent hard
+	// defect manifesting over time (the paper's Section 1 wear-out scenario:
+	// electromigration, oxide breakdown): the site is dormant for its first
+	// ArmAt-1 eligible uses and corrupts every use from the ArmAt-th on.
+	// Ignored for transients (FireAt already selects their one shot).
+	ArmAt uint64
 }
 
 // String describes the site.
@@ -218,21 +225,24 @@ func (inj *Injector) SeedUses(counts []uint64) {
 }
 
 // fires decides whether site i corrupts this eligible use, accounting for
-// transient (one-shot) semantics.
+// transient (one-shot) and arming (dormant-until-ArmAt) semantics.
 func (inj *Injector) fires(i int) bool {
 	s := &inj.Sites[i]
-	if !s.Transient {
+	if !s.Transient && s.ArmAt == 0 {
 		return true
 	}
 	if inj.uses == nil {
 		inj.uses = make([]uint64, len(inj.Sites))
 	}
 	inj.uses[i]++
-	at := s.FireAt
-	if at == 0 {
-		at = 1
+	if s.Transient {
+		at := s.FireAt
+		if at == 0 {
+			at = 1
+		}
+		return inj.uses[i] == at
 	}
-	return inj.uses[i] == at
+	return inj.uses[i] >= s.ArmAt
 }
 
 // CorruptDecode implements pipeline.Injector.

@@ -201,3 +201,52 @@ func TestTransientDecodeOneShot(t *testing.T) {
 		t.Error("second decode corrupted after transient fired")
 	}
 }
+
+func TestArmAtDormantThenPersistent(t *testing.T) {
+	inj := &Injector{Sites: []Site{{
+		Class: BackendWay, Unit: isa.UnitIntALU, Way: 0, BitMask: 1, ArmAt: 3,
+	}}}
+	in := isa.Inst{Op: isa.OpAdd}
+	for i := 1; i <= 6; i++ {
+		got := inj.CorruptResult(isa.UnitIntALU, 0, in, 10)
+		want := uint64(10)
+		if i >= 3 {
+			want = 11 // armed: corrupts this and every later use
+		}
+		if got != want {
+			t.Errorf("use %d = %d, want %d", i, got, want)
+		}
+	}
+	if inj.Activations() != 4 {
+		t.Errorf("activations = %d, want 4", inj.Activations())
+	}
+}
+
+func TestArmAtSeededUses(t *testing.T) {
+	// A forked/fast-forwarded injector seeded with the pristine-use count is
+	// already one use from arming: it must corrupt the very next eligible use.
+	inj := &Injector{Sites: []Site{{Class: RegisterFile, Reg: 5, BitMask: 2, ArmAt: 100}}}
+	inj.SeedUses([]uint64{99})
+	if got := inj.CorruptRegRead(5, 8); got != 10 {
+		t.Errorf("seeded use = %d, want armed 10", got)
+	}
+}
+
+func TestProbeCountsArmAtFirstFire(t *testing.T) {
+	sites := []Site{{Class: RegisterFile, Reg: 7, BitMask: 1, ArmAt: 4}}
+	now := int64(0)
+	pr := &Probe{Sites: sites, Now: func() int64 { return now }}
+	for now = 1; now <= 6; now++ {
+		pr.CorruptRegRead(7, 42)
+	}
+	if fc := pr.FireCycle(0); fc != 4 {
+		t.Errorf("probe fire cycle = %d, want 4 (the arming use)", fc)
+	}
+	if uses := pr.UsesSnapshot(); uses[0] != 6 {
+		t.Errorf("probe uses = %d, want 6", uses[0])
+	}
+	// And the probe never mutated the value stream.
+	if got := pr.CorruptRegRead(7, 42); got != 42 {
+		t.Errorf("probe mutated value: %d", got)
+	}
+}

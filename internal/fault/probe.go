@@ -30,6 +30,20 @@ type Probe struct {
 	uses []uint64
 	fire []int64
 	init bool
+
+	// Per-resource site-index buckets: every Corrupt* hook runs on the hot
+	// path of the campaign warmup (for every decode, issue, result and
+	// register read), and scanning the full site list there is the dominant
+	// warmup overhead. Bucketing by static coordinates visits only the sites
+	// that could match — typically zero or one — without changing per-site
+	// conditions, counting order or semantics (buckets are disjoint and
+	// preserve site order).
+	feWay   map[int][]int
+	beVal   map[[2]int][]int
+	beAddr  map[[2]int][]int
+	beBr    map[[2]int][]int
+	paySlot map[int][]int
+	regRead map[rename.PhysReg][]int
 }
 
 func (pr *Probe) ensure() {
@@ -41,22 +55,52 @@ func (pr *Probe) ensure() {
 	for i := range pr.fire {
 		pr.fire[i] = -1
 	}
+	pr.feWay = make(map[int][]int)
+	pr.beVal = make(map[[2]int][]int)
+	pr.beAddr = make(map[[2]int][]int)
+	pr.beBr = make(map[[2]int][]int)
+	pr.paySlot = make(map[int][]int)
+	pr.regRead = make(map[rename.PhysReg][]int)
+	for i := range pr.Sites {
+		s := &pr.Sites[i]
+		switch s.Class {
+		case FrontendWay:
+			pr.feWay[s.Way] = append(pr.feWay[s.Way], i)
+		case BackendWay:
+			key := [2]int{int(s.Unit), s.Way}
+			switch {
+			case s.FlipBranch:
+				pr.beBr[key] = append(pr.beBr[key], i)
+			case s.CorruptAddr:
+				pr.beAddr[key] = append(pr.beAddr[key], i)
+			default:
+				pr.beVal[key] = append(pr.beVal[key], i)
+			}
+		case PayloadRAM:
+			pr.paySlot[s.Slot] = append(pr.paySlot[s.Slot], i)
+		case RegisterFile:
+			pr.regRead[s.Reg] = append(pr.regRead[s.Reg], i)
+		}
+	}
 	pr.init = true
 }
 
 // fires mirrors Injector.fires exactly, including the eligible-use counting
-// for transients, without any corruption side effect.
+// for transients and arming sites, without any corruption side effect.
 func (pr *Probe) fires(i int) bool {
 	s := &pr.Sites[i]
-	if !s.Transient {
+	if !s.Transient && s.ArmAt == 0 {
 		return true
 	}
 	pr.uses[i]++
-	at := s.FireAt
-	if at == 0 {
-		at = 1
+	if s.Transient {
+		at := s.FireAt
+		if at == 0 {
+			at = 1
+		}
+		return pr.uses[i] == at
 	}
-	return pr.uses[i] == at
+	return pr.uses[i] >= s.ArmAt
 }
 
 // record stamps site i's first value-changing use.
@@ -87,9 +131,9 @@ func (pr *Probe) UsesSnapshot() []uint64 {
 // CorruptDecode implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptDecode(way int, in isa.Inst) isa.Inst {
 	pr.ensure()
-	for i := range pr.Sites {
+	for _, i := range pr.feWay[way] {
 		s := &pr.Sites[i]
-		if s.Class == FrontendWay && s.Way == way && s.triggered(uint64(in.Imm)) && pr.fires(i) {
+		if s.triggered(uint64(in.Imm)) && pr.fires(i) {
 			if s.corruptInst(in) != in {
 				pr.record(i)
 			}
@@ -101,11 +145,8 @@ func (pr *Probe) CorruptDecode(way int, in isa.Inst) isa.Inst {
 // CorruptPayload implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptPayload(slot, thread int, in isa.Inst) isa.Inst {
 	pr.ensure()
-	for i := range pr.Sites {
+	for _, i := range pr.paySlot[slot] {
 		s := &pr.Sites[i]
-		if s.Class != PayloadRAM || s.Slot != slot {
-			continue
-		}
 		if pr.SplitPayload && s.Thread != thread {
 			continue
 		}
@@ -122,10 +163,8 @@ func (pr *Probe) CorruptPayload(slot, thread int, in isa.Inst) isa.Inst {
 // CorruptResult implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint64) uint64 {
 	pr.ensure()
-	for i := range pr.Sites {
-		s := &pr.Sites[i]
-		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
-			!s.CorruptAddr && !s.FlipBranch && s.triggered(v) && pr.fires(i) {
+	for _, i := range pr.beVal[[2]int{int(class), way}] {
+		if pr.Sites[i].triggered(v) && pr.fires(i) {
 			pr.record(i) // XOR with a non-zero mask always changes the value
 		}
 	}
@@ -135,10 +174,8 @@ func (pr *Probe) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint
 // CorruptAddr implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptAddr(class isa.UnitClass, way int, addr uint64) uint64 {
 	pr.ensure()
-	for i := range pr.Sites {
-		s := &pr.Sites[i]
-		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
-			s.CorruptAddr && s.triggered(addr) && pr.fires(i) {
+	for _, i := range pr.beAddr[[2]int{int(class), way}] {
+		if pr.Sites[i].triggered(addr) && pr.fires(i) {
 			pr.record(i)
 		}
 	}
@@ -148,9 +185,8 @@ func (pr *Probe) CorruptAddr(class isa.UnitClass, way int, addr uint64) uint64 {
 // CorruptBranch implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptBranch(class isa.UnitClass, way int, taken bool) bool {
 	pr.ensure()
-	for i := range pr.Sites {
-		s := &pr.Sites[i]
-		if s.Class == BackendWay && s.Unit == class && s.Way == way && s.FlipBranch && pr.fires(i) {
+	for _, i := range pr.beBr[[2]int{int(class), way}] {
+		if pr.fires(i) {
 			pr.record(i)
 		}
 	}
@@ -160,9 +196,8 @@ func (pr *Probe) CorruptBranch(class isa.UnitClass, way int, taken bool) bool {
 // CorruptRegRead implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptRegRead(p rename.PhysReg, v uint64) uint64 {
 	pr.ensure()
-	for i := range pr.Sites {
-		s := &pr.Sites[i]
-		if s.Class == RegisterFile && s.Reg == p && s.triggered(v) && pr.fires(i) {
+	for _, i := range pr.regRead[p] {
+		if pr.Sites[i].triggered(v) && pr.fires(i) {
 			pr.record(i)
 		}
 	}

@@ -1,0 +1,82 @@
+package pipeline
+
+import (
+	"testing"
+
+	"blackjack/internal/isa"
+	"blackjack/internal/prog"
+)
+
+// TestNewFromArchMatchesGolden hands off a functional prefix to a warm
+// machine in every mode and checks the combined run ends at the golden
+// model's architectural output: total committed count and store signature
+// must equal a pure-functional run of the same budget.
+func TestNewFromArchMatchesGolden(t *testing.T) {
+	p := prog.MustBenchmark("gzip")
+	const budget = 3000
+	const handoff = 1500
+
+	g, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(handoff)
+	arch := g.CaptureArch()
+
+	for _, mode := range []Mode{ModeSingle, ModeSRT, ModeBlackJackNS, ModeBlackJack} {
+		m, err := NewFromArch(DefaultConfig(), mode, p, arch)
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		st := m.Run(budget)
+		if st.Deadlocked {
+			t.Fatalf("%v: deadlocked at cycle %d", mode, st.Cycles)
+		}
+		// The commit stage may overshoot the cap by up to the commit width in
+		// its final cycle (cold runs do the same), so compare the golden model
+		// at the count actually committed.
+		if st.Committed[0] < budget {
+			t.Fatalf("%v: committed %d, want >= %d", mode, st.Committed[0], budget)
+		}
+		ref, err := isa.NewMachine(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref.Run(int(st.Committed[0]))
+		if st.StoreSignature != ref.StoreSignature() || st.ReleasedStores != uint64(ref.Stores()) {
+			t.Errorf("%v: warm run output %#x/%d, golden %#x/%d",
+				mode, st.StoreSignature, st.ReleasedStores, ref.StoreSignature(), ref.Stores())
+		}
+		if st.Detections != 0 {
+			t.Errorf("%v: fault-free warm run recorded %d detections", mode, st.Detections)
+		}
+	}
+}
+
+// TestNewFromArchAtHalt: a snapshot taken at (or past) the program's halt
+// leaves nothing to run; the machine reports the prefix as committed and
+// finishes immediately.
+func TestNewFromArchAtHalt(t *testing.T) {
+	p := prog.MustBenchmark("gzip")
+	g, err := isa.NewMachine(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Run(2000)
+	arch := g.CaptureArch()
+
+	m, err := NewFromArch(DefaultConfig(), ModeBlackJack, p, arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := m.Run(2000) // budget == prefix: nothing left
+	if st.Deadlocked {
+		t.Fatal("deadlocked on empty window")
+	}
+	if st.Committed[0] != 2000 {
+		t.Fatalf("committed %d, want 2000", st.Committed[0])
+	}
+	if st.StoreSignature != arch.Sig || st.ReleasedStores != arch.Stores {
+		t.Fatalf("output %#x/%d, want the prefix's %#x/%d", st.StoreSignature, st.ReleasedStores, arch.Sig, arch.Stores)
+	}
+}

@@ -133,8 +133,18 @@ type Machine struct {
 	uopFree   []*UOp
 	entryFree []*core.Entry
 
-	cap         uint64 // leading-commit target for this run
+	cap         uint64 // leading-commit target for this run (machine-local)
 	leadStopped bool
+
+	// archBase is the committed-instruction count already covered by the
+	// functional prefix when the machine was built with NewFromArch; 0 for a
+	// machine starting at reset. Run budgets and Stats.Committed are in
+	// whole-program terms, so both convert through it.
+	archBase uint64
+
+	// stopOnDetect makes the run loop stop at the first detection event
+	// (see WithStopOnDetect).
+	stopOnDetect bool
 
 	// Dispatch-time reservations of commit-side redundancy queues. A leading
 	// load/store may only DISPATCH with an LVQ / store-buffer slot reserved:
@@ -425,7 +435,22 @@ func (m *Machine) Run(maxLeading int) *Stats {
 // absolute cycle numbers, so a machine forked from a checkpoint and a cold
 // run continue through identical loop decisions.
 func (m *Machine) RunWithCheckpoints(maxLeading int, interval int64, hook func(*Machine)) *Stats {
-	m.cap = uint64(maxLeading)
+	// maxLeading is in whole-program terms; an arch-seeded machine already
+	// covered archBase instructions functionally, so the machine-local target
+	// is the remainder. A prefix that consumed the whole budget leaves
+	// nothing to run.
+	target := int64(maxLeading) - int64(m.archBase)
+	if target < 0 {
+		target = 0
+	}
+	if m.archBase > 0 && target == 0 {
+		for _, t := range m.threads {
+			t.halted = true
+			t.fetchStopped = true
+		}
+		m.leadStopped = true
+	}
+	m.cap = uint64(target)
 	limit := m.cfg.MaxCycles
 	if limit == 0 {
 		limit = int64(maxLeading)*300 + 1_000_000
@@ -438,6 +463,10 @@ func (m *Machine) RunWithCheckpoints(maxLeading int, interval int64, hook func(*
 		}
 		if m.cycle >= limit || m.cycle-m.lastProgressCycle > 1_000_000 {
 			m.stats.Deadlocked = true
+			break
+		}
+		if m.stopOnDetect && m.sink.Total() > 0 {
+			m.stats.StoppedOnDetect = true
 			break
 		}
 		if m.runCtx != nil && m.cycle&ctxCheckMask == 0 && m.runCtx.Err() != nil {

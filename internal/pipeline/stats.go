@@ -68,6 +68,13 @@ type Stats struct {
 	// WithRunContext budget expired (wall-clock timeout or shutdown) — the
 	// stats describe a partial run, not a completed one.
 	Interrupted bool
+
+	// StoppedOnDetect is set when the run stopped at its first detection
+	// event (WithStopOnDetect, sampled campaigns): the outcome is Detected
+	// by construction, but cycle counts and output accounting cover only
+	// the simulated window. Deliberately not exported by Export — it is a
+	// sampled-mode execution-path note, not a figure input.
+	StoppedOnDetect bool
 }
 
 // IPC returns committed leading-thread instructions per cycle.
@@ -209,7 +216,9 @@ func (s *Stats) Export(r *obs.Registry) {
 func (m *Machine) finalizeStats() {
 	s := &m.stats
 	for i, t := range m.threads {
-		s.Committed[i] = t.committed
+		// Committed stays in whole-program terms: the functional prefix of an
+		// arch-seeded machine counts as committed by both contexts.
+		s.Committed[i] = t.committed + m.archBase
 		s.Fetched[i] = t.fetched
 	}
 	s.Cache = m.dcache.Stats()

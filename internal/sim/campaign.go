@@ -94,7 +94,8 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 	}
 	ctx, cancel := cfg.runContext()
 	defer cancel()
-	return injectSites(ctx, cfg, p, sites, opts, nil, newGoldenOracle(p))
+	res, _, err := injectSites(ctx, cfg, p, sites, opts, nil, newGoldenOracle(p), cfg.FastForward)
+	return res, err
 }
 
 // injectSites is the cold injection path: a fresh machine from cycle 0 with
@@ -104,9 +105,18 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 // the standalone path also honors cfg.Trace/cfg.Metrics. A non-nil ctx
 // bounds the run's wall clock: an expired budget surfaces as
 // *InterruptedError, never as a (mis)classified outcome.
-func injectSites(ctx context.Context, cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions, sink *detect.Sink, oracle *goldenOracle) (res InjectionResult, err error) {
+//
+// stopOnDetect (sampled campaigns, and cold fallbacks within them) ends the
+// run at its first detection event: a cold run is bit-identical to the full
+// run up to the stop, and both the first activation and the first detection
+// precede it, so Outcome, Activations>0 and DetectionLatency are exact —
+// only Cycles and post-detection activation counts are truncated.
+func injectSites(ctx context.Context, cfg Config, p *isa.Program, sites []fault.Site, opts InjectOptions, sink *detect.Sink, oracle *goldenOracle, stopOnDetect bool) (res InjectionResult, earlyStop bool, err error) {
 	inj := &fault.Injector{Sites: sites, SplitPayload: opts.SplitPayload}
 	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
+	if stopOnDetect {
+		mopts = append(mopts, pipeline.WithStopOnDetect())
+	}
 	if ctx != nil {
 		mopts = append(mopts, pipeline.WithRunContext(ctx))
 	}
@@ -119,7 +129,7 @@ func injectSites(ctx context.Context, cfg Config, p *isa.Program, sites []fault.
 	}
 	m, err := pipeline.New(cfg.Machine, cfg.Mode, p, mopts...)
 	if err != nil {
-		return InjectionResult{}, err
+		return InjectionResult{}, false, err
 	}
 	inj.Now = m.Cycle
 	if standalone {
@@ -144,14 +154,14 @@ func injectSites(ctx context.Context, cfg Config, p *isa.Program, sites []fault.
 		st.Export(cfg.Metrics)
 	}
 	if st.Interrupted {
-		return InjectionResult{}, &InterruptedError{
+		return InjectionResult{}, false, &InterruptedError{
 			Benchmark: p.Name, Mode: cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err(),
 		}
 	}
 	if cerr := classify(&res, st, inj, oracle); cerr != nil {
-		return InjectionResult{}, cerr
+		return InjectionResult{}, false, cerr
 	}
-	return res, nil
+	return res, st.StoppedOnDetect, nil
 }
 
 // Inject runs a built-in benchmark with one fault.
@@ -198,12 +208,15 @@ func StandardSites(cfg pipeline.Config) []fault.Site {
 
 // LatentSites returns a 16-site campaign modeling the paper's motivating
 // scenario (Section 1): latent hard defects in rarely-exercised hardware. One
-// always-on fault anchors the comparison; five transients arm only on a deep
-// eligible use, and ten trigger-gated faults wait for an operand pattern that
-// may never occur in the measured window. Checkpointed campaigns fork these
-// runs late (or serve them straight from the warmup result) where a cold
-// campaign replays the whole fault-free prefix once per site — the campaign
-// shape the checkpoint/fork machinery exists to accelerate.
+// always-on fault anchors the comparison; five wear-out faults arm only on a
+// deep eligible use (dormant silicon degrading into a persistent defect),
+// and ten trigger-gated faults wait for an operand pattern that may never
+// occur in the measured window. Checkpointed campaigns fork these runs late
+// (or serve them straight from the warmup result), and sampled campaigns
+// (Config.FastForward) skip their long fault-free prefixes functionally,
+// where a cold campaign replays the whole prefix once per site — the
+// campaign shape the checkpoint/fork and fast-forward machinery exists to
+// accelerate.
 func LatentSites(cfg pipeline.Config) []fault.Site {
 	never := func(s fault.Site) fault.Site {
 		s.TriggerMask = ^uint64(0)
@@ -214,12 +227,13 @@ func LatentSites(cfg pipeline.Config) []fault.Site {
 		// Always-on control site: fires within cycles of reset, so its fork
 		// replays essentially the whole run — the worst case for the plan.
 		{Class: fault.FrontendWay, Way: 0, Field: fault.FieldRs2},
-		// Late-arming transients: one shot on a deep eligible use.
-		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 1, BitMask: 1 << 9, Transient: true, FireAt: 12_000},
-		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 2, BitMask: 1 << 10, Transient: true, FireAt: 7000},
-		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, BitMask: 1 << 8, Transient: true, FireAt: 5500},
-		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 1, BitMask: 1 << 9, Transient: true, FireAt: 5000},
-		{Class: fault.FrontendWay, Way: 1, Field: fault.FieldRs1, Transient: true, FireAt: 13_000},
+		// Late-arming wear-out faults: dormant until a deep eligible use,
+		// persistent from then on.
+		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 1, BitMask: 1 << 9, ArmAt: 12_000},
+		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 2, BitMask: 1 << 10, ArmAt: 7000},
+		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, BitMask: 1 << 8, ArmAt: 5500},
+		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 1, BitMask: 1 << 9, ArmAt: 5000},
+		{Class: fault.FrontendWay, Way: 1, Field: fault.FieldRs1, ArmAt: 13_000},
 		// Trigger-gated: corruption waits for an operand value that never
 		// shows up in the window. (Payload-RAM faults are untriggered —
 		// reading a slot always corrupts — so none appears here.)
@@ -322,6 +336,9 @@ func Campaign(cfg Config, benchmark string, sites []fault.Site, opts InjectOptio
 var (
 	detectLatencyBounds = []float64{0, 10, 25, 50, 100, 250, 500, 1000, 2500, 10000}
 	forkCycleBounds     = []float64{0, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
+	// ffSkipBounds buckets how many instructions each fast-forwarded run
+	// skipped functionally — the campaign's sampled-speedup profile.
+	ffSkipBounds = []float64{0, 1000, 2500, 5000, 10000, 25000, 50000, 100000}
 )
 
 // campaignWorker is one worker's reusable scratch state: a detection sink
@@ -332,6 +349,10 @@ var (
 type campaignWorker struct {
 	sink *detect.Sink
 	reg  *obs.Registry
+	// ff mirrors Config.FastForward: a cold run inside a sampled campaign is
+	// a fallback worth counting; the same cold run in a full campaign is just
+	// the normal path.
+	ff bool
 }
 
 // record accumulates one classified run into the worker's registry.
@@ -367,6 +388,15 @@ func (w *campaignWorker) recordRecord(rec runRecord) {
 		w.reg.Histogram("campaign.fork.cycle", forkCycleBounds).Observe(float64(rec.ForkCycle))
 	case pathCold:
 		w.reg.Counter("campaign.cold_runs").Inc()
+		if w.ff {
+			w.reg.Counter("campaign.ff.fallback_cold").Inc()
+		}
+	case pathFF:
+		w.reg.Counter("campaign.ff.runs").Inc()
+		w.reg.Histogram("campaign.ff.skipped_instrs", ffSkipBounds).Observe(float64(rec.FFSkipped))
+	}
+	if rec.EarlyStop {
+		w.reg.Counter("campaign.ff.early_stops").Inc()
 	}
 	if rec.Failure != nil {
 		w.reg.Counter("campaign.quarantined").Inc()
@@ -383,9 +413,12 @@ func (w *campaignWorker) recordRecord(rec runRecord) {
 
 // CampaignProgram is Campaign over an explicit program. With
 // cfg.CheckpointInterval > 0 the per-site runs fork from periodic snapshots
-// of one shared fault-free warmup (see CampaignPlan); otherwise every run is
-// cold. Either way the golden reference is served from one memoized oracle
-// and each worker reuses one detection sink across its runs.
+// of one shared fault-free warmup (see CampaignPlan); with cfg.FastForward
+// they skip the fault-free prefix functionally and simulate only each
+// site's activation window (sampled simulation — outcome tables match full
+// runs, window-relative figures); otherwise every run is cold. In all cases
+// the golden reference is served from one memoized oracle and each worker
+// reuses one detection sink across its runs.
 //
 // The resilience layer wraps every run: cfg.Resilience isolates, budgets
 // and retries failures; cfg.Journal makes the campaign resumable; cfg.Ctx
@@ -400,7 +433,7 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 		return nil, fmt.Errorf("sim: no fault sites")
 	}
 	newWorker := func() *campaignWorker {
-		w := &campaignWorker{sink: &detect.Sink{}}
+		w := &campaignWorker{sink: &detect.Sink{}, ff: cfg.FastForward}
 		if cfg.Metrics != nil {
 			w.reg = obs.NewRegistry()
 		}
@@ -408,19 +441,19 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 	}
 
 	runner := &campaignRunner{cfg: cfg, prog: p, sites: sites, opts: opts}
-	if cfg.CheckpointInterval > 0 {
+	if cfg.CheckpointInterval > 0 || cfg.FastForward {
 		pl, err := NewCampaignPlan(cfg, p, sites, opts)
 		if err != nil {
 			return nil, err
 		}
-		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, runPath, int64, error) {
+		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, pathInfo, error) {
 			return pl.injectCtx(runCtx, i, i+1, w.sink)
 		}
 	} else {
 		oracle := newGoldenOracle(p)
-		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, runPath, int64, error) {
-			r, err := injectSites(runCtx, cfg, p, sites[i:i+1], opts, w.sink, oracle)
-			return r, pathCold, 0, err
+		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, pathInfo, error) {
+			r, _, err := injectSites(runCtx, cfg, p, sites[i:i+1], opts, w.sink, oracle, false)
+			return r, pathInfo{Path: pathCold}, err
 		}
 	}
 

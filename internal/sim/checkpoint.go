@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"sync"
 
 	"blackjack/internal/detect"
 	"blackjack/internal/fault"
@@ -31,42 +30,43 @@ import (
 // pipeline.Fork resumes it bit-identically (snapshot_test.go proves this per
 // cycle). Transient FireAt counters are seeded from the probe's use counts at
 // the checkpoint, so one-shot faults fire on exactly the same eligible use.
+//
+// With Config.FastForward the plan goes further (sampled simulation): the
+// fault-free prefix before a site's activation window is executed on the
+// golden ISA emulator — roughly two orders of magnitude faster than the
+// pipeline — and a warm cycle-accurate machine is seeded from the resulting
+// architectural state one warmup lead of instructions before the window
+// (pipeline.NewFromArch). Runs stop at their first detection event, whose
+// outcome is decided. This trades the forked path's bit-exactness for
+// speed: outcome tables and detection classifications still match full
+// simulation (diffcheck.CompareSampledCampaign verifies this per campaign),
+// but cycle counts, activation totals and detection latencies of
+// fast-forwarded runs are relative to the simulated window.
 
-// goldenOracle serves the golden model's store-stream state after k retired
-// instructions, memoized per k and shared (mutex-protected) across campaign
-// workers. The emulator steps forward incrementally; a request below the
-// current position replays from a fresh machine — no worse than the
-// one-machine-per-run cost this cache replaces.
+// goldenOracle serves golden-model state along one memoized functional
+// trajectory (isa.Trajectory), shared across campaign workers: the
+// store-stream signature for outcome classification, and full architectural
+// snapshots for fast-forward handoffs. The trajectory's snapshot cache makes
+// repeated rewinds cheap — no per-run machine allocation, no replay from
+// instruction 0 once a nearby snapshot exists.
 type goldenOracle struct {
-	mu   sync.Mutex
-	prog *isa.Program
-	g    *isa.Machine
-	memo map[uint64][2]uint64 // retired count -> {signature, stores}
+	tr *isa.Trajectory
 }
 
 func newGoldenOracle(p *isa.Program) *goldenOracle {
-	return &goldenOracle{prog: p, memo: make(map[uint64][2]uint64)}
+	return &goldenOracle{tr: isa.NewTrajectory(p)}
 }
 
 // at returns the golden store signature and store count after k retired
 // instructions (or the program's halt, whichever comes first).
 func (o *goldenOracle) at(k uint64) (sig, stores uint64, err error) {
-	o.mu.Lock()
-	defer o.mu.Unlock()
-	if v, ok := o.memo[k]; ok {
-		return v[0], v[1], nil
-	}
-	if o.g == nil || uint64(o.g.Retired()) > k {
-		g, err := isa.NewMachine(o.prog)
-		if err != nil {
-			return 0, 0, err
-		}
-		o.g = g
-	}
-	o.g.Run(int(k - uint64(o.g.Retired())))
-	v := [2]uint64{o.g.StoreSignature(), uint64(o.g.Stores())}
-	o.memo[k] = v
-	return v[0], v[1], nil
+	return o.tr.SigAt(k)
+}
+
+// archAt returns the full architectural state after k retired instructions —
+// the fast-forward handoff state. The snapshot is shared; do not mutate.
+func (o *goldenOracle) archAt(k uint64) (*isa.ArchState, error) {
+	return o.tr.At(k)
 }
 
 // classify fills an InjectionResult from a finished run's statistics,
@@ -107,6 +107,25 @@ type planCheckpoint struct {
 	uses  []uint64
 }
 
+// ffMark is one fast-forward anchor on the warmup trajectory: at warmup
+// cycle `cycle`, both threads had committed at least `instrs` instructions
+// and the probe had counted `uses` eligible uses per site. Marks map a
+// fault's first-activation cycle back to a committed-instruction handoff
+// target, and seed transient use counters at that target. Unlike
+// planCheckpoints, marks hold no machine state — they are three words plus
+// a small slice, so a fast-forward campaign without checkpoints stays
+// near-zero-memory.
+type ffMark struct {
+	cycle  int64
+	instrs uint64
+	uses   []uint64
+}
+
+// ffMarkInterval is the mark cadence (in cycles) used when fast-forward is
+// on but checkpointing is off; with checkpointing on, marks ride the
+// checkpoint cadence.
+const ffMarkInterval = 500
+
 // CampaignPlan amortizes a fault campaign's shared fault-free prefix: build
 // it once per (config, mode, program, site list), then run each injection
 // with Inject (or InjectRange for simultaneous multi-fault subsets).
@@ -119,6 +138,7 @@ type CampaignPlan struct {
 	oracle    *goldenOracle
 	probe     *fault.Probe
 	cps       []planCheckpoint
+	marks     []ffMark
 	warm      pipeline.Stats
 	warmValid bool
 }
@@ -150,6 +170,7 @@ func (pl *CampaignPlan) warmup() {
 	defer func() {
 		if r := recover(); r != nil {
 			pl.cps = nil
+			pl.marks = nil
 			pl.warmValid = false
 		}
 	}()
@@ -164,16 +185,37 @@ func (pl *CampaignPlan) warmup() {
 		return
 	}
 	pl.probe.Now = m.Cycle
-	st := m.RunWithCheckpoints(pl.cfg.MaxInstructions, pl.cfg.CheckpointInterval, func(live *pipeline.Machine) {
-		snap := live.Snapshot()
-		pl.cps = append(pl.cps, planCheckpoint{
-			cycle: snap.Cycle(),
-			snap:  snap,
-			uses:  pl.probe.UsesSnapshot(),
-		})
+	interval := pl.cfg.CheckpointInterval
+	snapshots := interval > 0
+	if !snapshots && pl.cfg.FastForward {
+		interval = ffMarkInterval
+	}
+	if pl.cfg.FastForward {
+		// Implicit reset-state mark, so every positive handoff target has a
+		// use-counter seed at or below it.
+		pl.marks = append(pl.marks, ffMark{uses: make([]uint64, len(pl.sites))})
+	}
+	st := m.RunWithCheckpoints(pl.cfg.MaxInstructions, interval, func(live *pipeline.Machine) {
+		if snapshots {
+			snap := live.Snapshot()
+			pl.cps = append(pl.cps, planCheckpoint{
+				cycle: snap.Cycle(),
+				snap:  snap,
+				uses:  pl.probe.UsesSnapshot(),
+			})
+		}
+		if pl.cfg.FastForward {
+			lead, trail := live.CommittedInstrs()
+			pl.marks = append(pl.marks, ffMark{
+				cycle:  live.Cycle(),
+				instrs: min(lead, trail),
+				uses:   pl.probe.UsesSnapshot(),
+			})
+		}
 	})
 	if st.Interrupted {
 		pl.cps = nil
+		pl.marks = nil
 		pl.warmValid = false
 		return
 	}
@@ -187,12 +229,13 @@ func (pl *CampaignPlan) NumSites() int { return len(pl.sites) }
 // Checkpoints returns how many warmup snapshots the plan holds.
 func (pl *CampaignPlan) Checkpoints() int { return len(pl.cps) }
 
-// Inject classifies site i alone, forking from the best checkpoint.
+// Inject classifies site i alone, choosing the cheapest sound path:
+// warm-served, fast-forwarded, checkpoint-forked or cold.
 func (pl *CampaignPlan) Inject(i int) (InjectionResult, error) {
 	if i < 0 || i >= len(pl.sites) {
 		return InjectionResult{}, fmt.Errorf("sim: site index %d out of range [0,%d)", i, len(pl.sites))
 	}
-	r, _, _, err := pl.injectCtx(nil, i, i+1, nil)
+	r, _, err := pl.injectCtx(nil, i, i+1, nil)
 	return r, err
 }
 
@@ -203,16 +246,24 @@ func (pl *CampaignPlan) InjectRange(lo, hi int) (InjectionResult, error) {
 	if lo < 0 || hi > len(pl.sites) || lo >= hi {
 		return InjectionResult{}, fmt.Errorf("sim: site range [%d,%d) invalid for %d sites", lo, hi, len(pl.sites))
 	}
-	r, _, _, err := pl.injectCtx(nil, lo, hi, nil)
+	r, _, err := pl.injectCtx(nil, lo, hi, nil)
 	return r, err
 }
 
 // injectCtx runs the subset sites[lo:hi] with a reusable sink (nil: the
 // machine allocates its own) under an optional run context (nil:
-// unbudgeted). It reports which path served the run — warm, forked (with
-// the fork cycle) or cold — so callers can record and journal path-choice
-// metrics that replay identically on resume.
-func (pl *CampaignPlan) injectCtx(ctx context.Context, lo, hi int, sink *detect.Sink) (InjectionResult, runPath, int64, error) {
+// unbudgeted). It reports which path served the run — warm, fast-forwarded,
+// forked or cold, with that path's parameters — so callers can record and
+// journal path-choice metrics that replay identically on resume.
+//
+// Path policy: a subset no member of which can ever corrupt is served from
+// the warmup result. Otherwise, with fast-forward on, the functional model
+// skips to a handoff one warmup lead before the subset's earliest
+// activation cycle — the cheapest path, since skipped instructions cost
+// ~1% of cycle-accurate ones. When no usable handoff exists (activation too
+// close to reset, or the warmup failed), the plan falls back to a
+// checkpoint fork, then to a cold run.
+func (pl *CampaignPlan) injectCtx(ctx context.Context, lo, hi int, sink *detect.Sink) (InjectionResult, pathInfo, error) {
 	subset := pl.sites[lo:hi]
 	minFire := int64(-1)
 	if pl.warmValid {
@@ -227,18 +278,123 @@ func (pl *CampaignPlan) injectCtx(ctx context.Context, lo, hi int, sink *detect.
 			// replay the warmup cycle for cycle. Serve the warmup's result.
 			res := InjectionResult{Site: subset[0], Mode: pl.cfg.Mode, DetectionLatency: -1}
 			if err := classify(&res, &pl.warm, &fault.Injector{}, pl.oracle); err != nil {
-				return InjectionResult{}, "", 0, err
+				return InjectionResult{}, pathInfo{}, err
 			}
-			return res, pathWarm, 0, nil
+			return res, pathInfo{Path: pathWarm}, nil
+		}
+		if pl.cfg.FastForward && pl.ffEligible(lo, hi) {
+			if handoff, uses, ok := pl.ffHandoff(minFire); ok {
+				r, early, err := pl.ffRun(ctx, lo, hi, handoff, uses, sink)
+				return r, pathInfo{Path: pathFF, FFSkipped: int64(handoff), EarlyStop: early}, err
+			}
 		}
 	}
 	cp := pl.latestBefore(minFire)
 	if cp == nil {
-		r, err := injectSites(ctx, pl.cfg, pl.prog, subset, pl.opts, sink, pl.oracle)
-		return r, pathCold, 0, err
+		r, early, err := injectSites(ctx, pl.cfg, pl.prog, subset, pl.opts, sink, pl.oracle, pl.cfg.FastForward)
+		return r, pathInfo{Path: pathCold, EarlyStop: early}, err
 	}
-	r, err := pl.forkRun(ctx, cp, lo, hi, sink)
-	return r, pathForked, cp.cycle, err
+	r, early, err := pl.forkRun(ctx, cp, lo, hi, sink)
+	return r, pathInfo{Path: pathForked, ForkCycle: cp.cycle, EarlyStop: early}, err
+}
+
+// ffEligible reports whether sites[lo:hi] may be served by fast-forward.
+// One-shot transients are excluded: a transient's outcome depends on the
+// exact dynamic use its single shot corrupts — a microarchitectural event
+// only the bit-exact paths (fork, cold) reproduce. Persistent faults
+// (always-on, trigger-gated, arming) corrupt every eligible use once
+// active, so their classification is robust to the handoff's timing
+// perturbation — the property diffcheck's sampled mode verifies per
+// campaign.
+func (pl *CampaignPlan) ffEligible(lo, hi int) bool {
+	for i := lo; i < hi; i++ {
+		if pl.sites[i].Transient {
+			return false
+		}
+	}
+	return true
+}
+
+// ffHandoff maps a subset's earliest possible activation cycle to a
+// fast-forward handoff: the committed-instruction target the functional
+// model runs to, and the transient use-counter seed at (or just below) that
+// target. Reports ok=false when the activation is too close to reset for a
+// full warmup lead — the fork/cold paths handle those.
+//
+// The anchor is the latest warmup mark strictly before minFire: every
+// instruction committed by then is committed (by both threads) before the
+// fault can corrupt anything, so handing off warmup-lead instructions
+// earlier leaves the whole activation window plus the lead cycle-accurate.
+// Use counters are seeded from the latest mark at or below the target —
+// an undercount of at most one mark interval, which the warmup lead
+// absorbs: a seeded transient fires within the cycle-accurate window,
+// merely a few eligible uses later than the nominal count. Outcome-table
+// equivalence under this seeding is what diffcheck's sampled mode verifies.
+func (pl *CampaignPlan) ffHandoff(minFire int64) (handoff uint64, uses []uint64, ok bool) {
+	if minFire < 0 || len(pl.marks) == 0 {
+		return 0, nil, false
+	}
+	j := sort.Search(len(pl.marks), func(i int) bool { return pl.marks[i].cycle >= minFire })
+	if j == 0 {
+		return 0, nil, false
+	}
+	anchor := pl.marks[j-1].instrs
+	lead := uint64(pl.cfg.ffWarmup())
+	if anchor <= lead {
+		return 0, nil, false
+	}
+	target := anchor - lead
+	k := sort.Search(len(pl.marks), func(i int) bool { return pl.marks[i].instrs > target })
+	if k == 0 {
+		return 0, nil, false
+	}
+	return target, pl.marks[k-1].uses, true
+}
+
+// ffRun serves one injection by sampled simulation: functional golden state
+// at the handoff, a warm arch-seeded machine, and a cycle-accurate run over
+// just the remainder — stopping at the first detection event, whose outcome
+// is already decided. Classification matches injectSites/forkRun exactly;
+// Cycles, Activations and DetectionLatency are window-relative.
+func (pl *CampaignPlan) ffRun(ctx context.Context, lo, hi int, handoff uint64, uses []uint64, sink *detect.Sink) (res InjectionResult, earlyStop bool, err error) {
+	subset := pl.sites[lo:hi]
+	arch, err := pl.oracle.archAt(handoff)
+	if err != nil {
+		return InjectionResult{}, false, err
+	}
+	inj := &fault.Injector{Sites: subset, SplitPayload: pl.opts.SplitPayload}
+	inj.SeedUses(uses[lo:hi])
+	mopts := []pipeline.Option{pipeline.WithInjector(inj), pipeline.WithStopOnDetect()}
+	if ctx != nil {
+		mopts = append(mopts, pipeline.WithRunContext(ctx))
+	}
+	if sink != nil {
+		sink.Reset()
+		mopts = append(mopts, pipeline.WithSink(sink))
+	}
+	m, err := pipeline.NewFromArch(pl.cfg.Machine, pl.cfg.Mode, pl.prog, arch, mopts...)
+	if err != nil {
+		return InjectionResult{}, false, err
+	}
+	inj.Now = m.Cycle
+	res = InjectionResult{Site: subset[0], Mode: pl.cfg.Mode, DetectionLatency: -1}
+	defer func() {
+		if r := recover(); r != nil {
+			res.Outcome = OutcomeWedged
+			res.Activations = inj.Activations()
+			err = nil
+		}
+	}()
+	st := m.Run(pl.cfg.MaxInstructions)
+	if st.Interrupted {
+		return InjectionResult{}, false, &InterruptedError{
+			Benchmark: pl.prog.Name, Mode: pl.cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err(),
+		}
+	}
+	if cerr := classify(&res, st, inj, pl.oracle); cerr != nil {
+		return InjectionResult{}, false, cerr
+	}
+	return res, st.StoppedOnDetect, nil
 }
 
 // latestBefore returns the newest checkpoint strictly before the given
@@ -257,12 +413,16 @@ func (pl *CampaignPlan) latestBefore(cycle int64) *planCheckpoint {
 // forkRun resumes the warmup from a checkpoint with a real injector
 // installed, seeded so transient use counting continues where the probe's
 // left off. Mirrors injectSites' classification, budget and panic handling
-// exactly.
-func (pl *CampaignPlan) forkRun(ctx context.Context, cp *planCheckpoint, lo, hi int, sink *detect.Sink) (res InjectionResult, err error) {
+// exactly. Under fast-forward the fork also stops at its first detection —
+// same sampled-campaign semantics, applied to the fork fallback.
+func (pl *CampaignPlan) forkRun(ctx context.Context, cp *planCheckpoint, lo, hi int, sink *detect.Sink) (res InjectionResult, earlyStop bool, err error) {
 	subset := pl.sites[lo:hi]
 	inj := &fault.Injector{Sites: subset, SplitPayload: pl.opts.SplitPayload}
 	inj.SeedUses(cp.uses[lo:hi])
 	mopts := []pipeline.Option{pipeline.WithInjector(inj)}
+	if pl.cfg.FastForward {
+		mopts = append(mopts, pipeline.WithStopOnDetect())
+	}
 	if ctx != nil {
 		mopts = append(mopts, pipeline.WithRunContext(ctx))
 	}
@@ -282,12 +442,12 @@ func (pl *CampaignPlan) forkRun(ctx context.Context, cp *planCheckpoint, lo, hi 
 	}()
 	st := m.Run(pl.cfg.MaxInstructions)
 	if st.Interrupted {
-		return InjectionResult{}, &InterruptedError{
+		return InjectionResult{}, false, &InterruptedError{
 			Benchmark: pl.prog.Name, Mode: pl.cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err(),
 		}
 	}
 	if cerr := classify(&res, st, inj, pl.oracle); cerr != nil {
-		return InjectionResult{}, cerr
+		return InjectionResult{}, false, cerr
 	}
-	return res, nil
+	return res, st.StoppedOnDetect, nil
 }

@@ -135,15 +135,29 @@ const (
 	pathCold   runPath = "cold"
 	pathForked runPath = "forked"
 	pathWarm   runPath = "warm"
+	pathFF     runPath = "fast-forward"
 )
+
+// pathInfo describes how a campaign run was served: the path plus that
+// path's parameters (fork cycle, functionally skipped instructions,
+// early-stop). It is what injectCtx reports and what runRecord journals.
+type pathInfo struct {
+	Path      runPath
+	ForkCycle int64
+	FFSkipped int64
+	EarlyStop bool
+}
 
 // runRecord is one completed campaign run as journaled: the classified
 // result plus everything needed to replay the run's registry contributions
-// byte-identically on resume.
+// byte-identically on resume. The fast-forward fields are additive —
+// journals written before sampled campaigns existed still replay.
 type runRecord struct {
 	Result    InjectionResult `json:"result"`
 	Path      runPath         `json:"path,omitempty"`
 	ForkCycle int64           `json:"fork_cycle,omitempty"`
+	FFSkipped int64           `json:"ff_skipped,omitempty"`
+	EarlyStop bool            `json:"early_stop,omitempty"`
 	Retries   int             `json:"retries,omitempty"`
 	Failure   *RunFailure     `json:"failure,omitempty"`
 }
@@ -175,6 +189,13 @@ func OpenCampaignJournal(path string, cfg Config, program string, sites []fault.
 		fmt.Sprintf("split=%v", opts.SplitPayload),
 		fmt.Sprintf("ckpt=%d", cfg.CheckpointInterval),
 		fmt.Sprintf("sites=%d", len(sites)),
+	}
+	if cfg.FastForward {
+		// Sampled campaigns report window-relative figures, so a sampled
+		// journal must not resume a full campaign (or vice versa, or across
+		// warmup leads). Appended only when on, so pre-fast-forward journal
+		// keys are unchanged.
+		parts = append(parts, "ff=true", fmt.Sprintf("ffw=%d", cfg.ffWarmup()))
 	}
 	for _, s := range sites {
 		parts = append(parts, fmt.Sprintf("%+v", s))
@@ -213,7 +234,7 @@ type campaignRunner struct {
 
 	// attempt runs sites[i:i+1] once under runCtx (nil means unbudgeted)
 	// and reports which path served it.
-	attempt func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, runPath, int64, error)
+	attempt func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, pathInfo, error)
 
 	resumed atomic.Int64
 	retried atomic.Int64
@@ -232,13 +253,16 @@ func (c *campaignRunner) repro(i int) string {
 	if c.cfg.CheckpointInterval > 0 {
 		cmd += fmt.Sprintf(" -checkpoint-interval %d", c.cfg.CheckpointInterval)
 	}
+	if c.cfg.FastForward {
+		cmd += fmt.Sprintf(" -ff -ff-warmup %d", c.cfg.ffWarmup())
+	}
 	return cmd
 }
 
 // attemptOnce runs one attempt of item i: derives the attempt's budget
 // (RunTimeout << attempt), installs the isolation recover barrier, and
 // fires the test seam.
-func (c *campaignRunner) attemptOnce(w *campaignWorker, i, attempt int) (res InjectionResult, path runPath, forkCycle int64, err error) {
+func (c *campaignRunner) attemptOnce(w *campaignWorker, i, attempt int) (res InjectionResult, pi pathInfo, err error) {
 	var runCtx context.Context
 	if c.cfg.Ctx != nil {
 		runCtx = c.cfg.Ctx
@@ -261,7 +285,7 @@ func (c *campaignRunner) attemptOnce(w *campaignWorker, i, attempt int) (res Inj
 	}
 	if campaignTestHook != nil {
 		if herr := campaignTestHook(runCtx, i); herr != nil {
-			return InjectionResult{}, "", 0, herr
+			return InjectionResult{}, pathInfo{}, herr
 		}
 	}
 	return c.attempt(w, i, runCtx)
@@ -285,12 +309,15 @@ func failureReason(err error) string {
 func (c *campaignRunner) run(w *campaignWorker, i int) (runRecord, error) {
 	res := c.cfg.Resilience
 	for attempt := 0; ; attempt++ {
-		r, path, forkCycle, err := c.attemptOnce(w, i, attempt)
+		r, pi, err := c.attemptOnce(w, i, attempt)
 		if err == nil {
 			if attempt > 0 {
 				c.retried.Add(int64(attempt))
 			}
-			return runRecord{Result: r, Path: path, ForkCycle: forkCycle, Retries: attempt}, nil
+			return runRecord{
+				Result: r, Path: pi.Path, ForkCycle: pi.ForkCycle,
+				FFSkipped: pi.FFSkipped, EarlyStop: pi.EarlyStop, Retries: attempt,
+			}, nil
 		}
 		if c.cfg.Ctx != nil && c.cfg.Ctx.Err() != nil {
 			// Campaign-level shutdown (SIGINT): not a run failure. Surface

@@ -39,6 +39,24 @@ type Config struct {
 	// (each retained snapshot holds a full machine copy). 0 disables
 	// checkpointing.
 	CheckpointInterval int64
+	// FastForward enables sampled campaign execution: an injection whose
+	// fault cannot corrupt anything before a known warmup cycle is served by
+	// running the golden ISA emulator functionally to a handoff instruction
+	// just before that window, seeding a warm cycle-accurate machine from the
+	// architectural state (see pipeline.NewFromArch), and simulating only the
+	// activation window — with the run stopping at its first detection event,
+	// since the outcome is Detected from that point regardless. Outcome
+	// tables are identical to full simulation (diffcheck.CompareSampledCampaign
+	// proves it per campaign); cycle counts, activation totals and detection
+	// latencies of fast-forwarded runs are window-relative, not
+	// whole-program. Composes with CheckpointInterval: sites with an early
+	// first activation still fork from warmup snapshots.
+	FastForward bool
+	// FFWarmup is the fast-forward warmup lead in committed instructions:
+	// the handoff is placed this many instructions before the activation
+	// window so queues, the predictor and the redundancy coupling re-approach
+	// steady state before the fault can fire. <= 0 selects DefaultFFWarmup.
+	FFWarmup int
 	// Trace, when non-nil, records structured pipeline events of
 	// single-machine entry points (RunProgram, InjectProgram and the
 	// standalone fault paths) for Chrome-trace export. Campaign fan-out
@@ -66,6 +84,23 @@ type Config struct {
 	// interrupted campaign resumes where it stopped (see
 	// OpenCampaignJournal). Only campaign entry points use it.
 	Journal *CampaignJournal
+}
+
+// DefaultFFWarmup is the default fast-forward warmup lead (committed
+// instructions simulated cycle-accurately before the activation window).
+// Several times the machine's maximum in-flight window, so queues, the
+// predictor and the redundancy coupling re-approach steady state before the
+// fault can fire; sampled-equivalence outcomes are empirically stable from
+// a few hundred instructions up (diffcheck's sampled mode re-proves it per
+// campaign). Raise Config.FFWarmup for conservative latency studies.
+const DefaultFFWarmup = 500
+
+// ffWarmup resolves the configured warmup lead.
+func (c Config) ffWarmup() int {
+	if c.FFWarmup > 0 {
+		return c.FFWarmup
+	}
+	return DefaultFFWarmup
 }
 
 // Default returns a Table 1 machine in the given mode with the given budget.
@@ -229,10 +264,18 @@ func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
 			Committed: st.Committed[0], Budget: cfg.MaxInstructions,
 		}
 	}
-	g, err := isa.NewMachine(p)
+	return verifyGolden(cfg, p, st)
+}
+
+// verifyGolden builds a Result by replaying the golden model (on a pooled
+// functional machine) up to the run's committed count and comparing output
+// streams.
+func verifyGolden(cfg Config, p *isa.Program, st *pipeline.Stats) (*Result, error) {
+	g, err := isa.AcquireMachine(p)
 	if err != nil {
 		return nil, err
 	}
+	defer isa.ReleaseMachine(g)
 	g.Run(int(st.Committed[0]))
 	return &Result{
 		Benchmark:       p.Name,
@@ -244,6 +287,62 @@ func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
 	}, nil
 }
 
+// RunSampledProgram executes p with a functional fast-forward: the golden
+// ISA emulator retires the first skip instructions, a warm cycle-accurate
+// machine is seeded from that architectural state, and the pipeline
+// simulates only the remaining budget. The Result's committed counts and
+// output verification are in whole-program terms (fast-forwarded stores are
+// part of the signature chain); Stats.Cycles covers only the simulated
+// window. A skip of 0 is exactly RunProgram; a skip at or past the budget
+// leaves nothing to simulate.
+func RunSampledProgram(cfg Config, p *isa.Program, skip int) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if skip < 0 {
+		return nil, fmt.Errorf("sim: negative fast-forward skip %d", skip)
+	}
+	if skip == 0 {
+		return RunProgram(cfg, p)
+	}
+	if skip > cfg.MaxInstructions {
+		skip = cfg.MaxInstructions
+	}
+	g, err := isa.AcquireMachine(p)
+	if err != nil {
+		return nil, err
+	}
+	g.Run(skip)
+	arch := g.CaptureArch()
+	isa.ReleaseMachine(g)
+
+	mopts := cfg.obsOptions()
+	ctx, cancel := cfg.runContext()
+	defer cancel()
+	if ctx != nil {
+		mopts = append(mopts, pipeline.WithRunContext(ctx))
+	}
+	m, err := pipeline.NewFromArch(cfg.Machine, cfg.Mode, p, arch, mopts...)
+	if err != nil {
+		return nil, err
+	}
+	cfg.observeDetections(m)
+	st := m.Run(cfg.MaxInstructions)
+	if cfg.Metrics != nil {
+		st.Export(cfg.Metrics)
+	}
+	if st.Interrupted {
+		return nil, &InterruptedError{Benchmark: p.Name, Mode: cfg.Mode, Cycle: st.Cycles, Cause: ctx.Err()}
+	}
+	if st.Deadlocked {
+		return nil, &DeadlockError{
+			Benchmark: p.Name, Mode: cfg.Mode, Cycle: st.Cycles,
+			Committed: st.Committed[0], Budget: cfg.MaxInstructions,
+		}
+	}
+	return verifyGolden(cfg, p, st)
+}
+
 // Run executes one built-in benchmark.
 func Run(cfg Config, benchmark string) (*Result, error) {
 	p, err := prog.Benchmark(benchmark)
@@ -251,6 +350,15 @@ func Run(cfg Config, benchmark string) (*Result, error) {
 		return nil, err
 	}
 	return RunProgram(cfg, p)
+}
+
+// RunSampled is RunSampledProgram over a built-in benchmark.
+func RunSampled(cfg Config, benchmark string, skip int) (*Result, error) {
+	p, err := prog.Benchmark(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	return RunSampledProgram(cfg, p, skip)
 }
 
 // AllModes lists the four machine configurations of the paper's evaluation.

@@ -160,6 +160,39 @@ const (
 	FaultRegisterFile = fault.RegisterFile
 )
 
+// Fault-kind taxonomy.
+type (
+	// FaultKind selects a fault's temporal/spatial model: always-on
+	// permanent, one-shot transient, duty-cycled intermittent, multi-bit
+	// stuck-at/flip patterns, or control-flow errors corrupting branch
+	// redirects.
+	FaultKind = fault.Kind
+	// FaultSiteError is the typed validation error FaultSite.Validate and
+	// campaign admission return for contradictory site descriptions.
+	FaultSiteError = fault.SiteError
+)
+
+// The fault kinds a FaultSite can model.
+const (
+	FaultKindPermanent    = fault.KindPermanent
+	FaultKindTransient    = fault.KindTransient
+	FaultKindIntermittent = fault.KindIntermittent
+	FaultKindMultiBit     = fault.KindMultiBit
+	FaultKindControlFlow  = fault.KindControlFlow
+)
+
+// FaultKinds lists every fault kind in declaration order.
+func FaultKinds() []FaultKind { return fault.Kinds() }
+
+// ParseFaultKind resolves a fault-kind name ("permanent", "transient",
+// "intermittent", "multi-bit", "control-flow").
+func ParseFaultKind(s string) (FaultKind, error) { return fault.ParseKind(s) }
+
+// ValidateFaultSites rejects contradictory site descriptions with a
+// *FaultSiteError before any simulation runs; campaign entry points call it
+// at admission.
+func ValidateFaultSites(sites []FaultSite) error { return fault.ValidateSites(sites) }
+
 // Fault run outcomes.
 const (
 	OutcomeBenign      = sim.OutcomeBenign
@@ -227,6 +260,13 @@ func StandardFaultSites(machine MachineConfig) []FaultSite { return sim.Standard
 // faults plus late-arming transients and trigger-gated faults that may never
 // activate — the workload shape Config.CheckpointInterval accelerates most.
 func LatentFaultSites(machine MachineConfig) []FaultSite { return sim.LatentSites(machine) }
+
+// FaultSitesForKind returns the canonical campaign for one fault kind — the
+// per-kind axis the bjfault/bjfuzz -fault-kind flags and the Ext-I
+// experiment iterate over.
+func FaultSitesForKind(machine MachineConfig, kind FaultKind) ([]FaultSite, error) {
+	return sim.SitesForKind(machine, kind)
+}
 
 // Differential verification (the bjfuzz harness).
 type (

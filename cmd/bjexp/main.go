@@ -34,7 +34,7 @@ import (
 
 var experimentNames = []string{
 	"table1", "fig4a", "fig4b", "fig5", "fig6", "fig7", "headline",
-	"exta", "extb", "extc", "extd", "exte", "extf", "extg", "exth", "all",
+	"exta", "extb", "extc", "extd", "exte", "extf", "extg", "exth", "exti", "all",
 }
 
 func main() {
@@ -129,6 +129,8 @@ func main() {
 		runExtG(opts, *bench)
 	case "exth":
 		runExtH(opts)
+	case "exti":
+		runExtI(opts, *bench)
 	case "fig4a", "fig4b", "fig5", "fig6", "fig7", "headline", "extb":
 		suite := mustSuite(opts)
 		renderFromSuite(suite, *exp)
@@ -155,6 +157,8 @@ func main() {
 		runExtG(opts, *bench)
 		fmt.Println()
 		runExtH(opts)
+		fmt.Println()
+		runExtI(opts, *bench)
 	default:
 		fatal(fmt.Errorf("unknown experiment %q (known: %s)", *exp, strings.Join(experimentNames, ", ")))
 	}
@@ -301,6 +305,18 @@ func runExtG(opts experiments.Options, bench string) {
 		fatalCampaign(err, opts)
 	}
 	experiments.ExtGTable(rows, bench).Render(os.Stdout)
+}
+
+func runExtI(opts experiments.Options, bench string) {
+	// Twelve campaigns (four fault kinds x three modes) re-run the workload
+	// once per site; the tighter budget keeps the full table fast.
+	campaign := opts
+	campaign.Instructions = min(opts.Instructions, 20_000)
+	rows, err := experiments.ExtISoftIntermittent(campaign, bench)
+	if err != nil {
+		fatalCampaign(err, opts)
+	}
+	experiments.ExtITable(rows, bench).Render(os.Stdout)
 }
 
 func runExtH(opts experiments.Options) {

@@ -1,7 +1,10 @@
-// Command bjfault runs hard-fault injection campaigns: it installs one
-// permanent fault per run (a frontend way, backend way, payload-RAM slot or
-// physical register), executes the workload redundantly, and classifies each
-// outcome as detected, silent corruption, benign, or wedged.
+// Command bjfault runs fault injection campaigns: it installs one fault per
+// run (a frontend way, backend way, payload-RAM slot or physical register),
+// executes the workload redundantly, and classifies each outcome as
+// detected, silent corruption, benign, or wedged. -fault-kind selects the
+// fault model: always-on permanent faults (default), one-shot transients,
+// duty-cycled intermittents, multi-bit stuck-at/flip patterns, or
+// control-flow errors corrupting branch redirects.
 //
 // Usage:
 //
@@ -10,6 +13,9 @@
 //	bjfault -bench gzip -mode blackjack -compare            # srt vs blackjack
 //	bjfault -bench gcc -n 30000 -site-index 12              # replay one campaign run
 //	bjfault -bench gcc -journal gcc.journal                 # crash-resumable campaign
+//	bjfault -bench gcc -fault-kind intermittent             # duty-cycled campaign
+//	bjfault -site backend -fault-kind intermittent -duty 32/8@50
+//	bjfault -site backend -fault-kind multi-bit -mask 0xFF00
 //
 // A campaign run with -journal survives crashes and SIGINT: re-running the
 // same command with -resume skips every completed injection. SIGINT is a
@@ -23,6 +29,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"time"
 
 	"blackjack"
@@ -43,6 +51,9 @@ func main() {
 		slot    = flag.Int("slot", 0, "issue-queue slot for payload sites")
 		reg     = flag.Int("reg", 200, "physical register for register sites")
 		split   = flag.Bool("split", true, "model split per-thread payload RAMs")
+		kindStr = flag.String("fault-kind", "permanent", "fault model: permanent, transient, intermittent, multi-bit, control-flow (selects the campaign site list and modifies -site runs)")
+		duty    = flag.String("duty", "", "intermittent duty cycle as period/on[@prob], e.g. 32/8@50 (default 64/16@75; -site runs)")
+		mask    = flag.String("mask", "", "bit mask overriding the site's default, hex or decimal (e.g. 0xFF00; -site runs)")
 		compare = flag.Bool("compare", false, "run the campaign under srt AND blackjack and compare")
 		par     = flag.Int("parallel", 0, "worker count for campaign fan-out over sites (0 = NumCPU; output is identical at any value)")
 		ckpt    = flag.Int64("checkpoint-interval", 0, "campaign warmup snapshot interval in cycles; injections fork from the latest snapshot before their fault fires (0 = every run cold; output is identical at any value)")
@@ -70,6 +81,10 @@ func main() {
 	defer stopProf()
 
 	m, err := blackjack.ParseMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+	kind, err := blackjack.ParseFaultKind(*kindStr)
 	if err != nil {
 		fatal(err)
 	}
@@ -104,7 +119,10 @@ func main() {
 	}
 
 	if *siteIndex >= 0 {
-		sites := blackjack.StandardFaultSites(cfg.Machine)
+		sites, err := blackjack.FaultSitesForKind(cfg.Machine, kind)
+		if err != nil {
+			fatal(err)
+		}
 		if *siteIndex >= len(sites) {
 			fatal(fmt.Errorf("-site-index %d out of range [0,%d)", *siteIndex, len(sites)))
 		}
@@ -122,6 +140,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if s, err = applyKind(s, kind, *duty, *mask); err != nil {
+			fatal(err)
+		}
 		r, err := blackjack.Inject(cfg, *bench, s, opts)
 		if err != nil {
 			fatal(err)
@@ -136,7 +157,10 @@ func main() {
 		return
 	}
 
-	sites := blackjack.StandardFaultSites(cfg.Machine)
+	sites, err := blackjack.FaultSitesForKind(cfg.Machine, kind)
+	if err != nil {
+		fatal(err)
+	}
 	if *compare {
 		for _, mm := range []blackjack.Mode{blackjack.ModeSRT, blackjack.ModeBlackJack} {
 			c := cfg
@@ -250,6 +274,69 @@ func buildSite(class string, way int, unit string, slot, reg int) (blackjack.Fau
 	default:
 		return blackjack.FaultSite{}, fmt.Errorf("unknown site class %q", class)
 	}
+}
+
+// applyKind reshapes a base site for the selected fault model: -duty
+// configures the intermittent window, -mask overrides the default bit
+// pattern. Contradictory combinations are rejected by FaultSite.Validate at
+// campaign admission with a precise reason.
+func applyKind(s blackjack.FaultSite, kind blackjack.FaultKind, duty, mask string) (blackjack.FaultSite, error) {
+	s.Kind = kind
+	switch kind {
+	case blackjack.FaultKindTransient:
+		s.FireAt = 20 // one shot on an early eligible use
+	case blackjack.FaultKindIntermittent:
+		s.DutyPeriod, s.DutyOn, s.DutyProb = 64, 16, 75
+		if duty != "" {
+			var err error
+			if s.DutyPeriod, s.DutyOn, s.DutyProb, err = parseDuty(duty); err != nil {
+				return s, err
+			}
+		}
+	case blackjack.FaultKindMultiBit:
+		// Mirror the canonical multi-bit campaign's decode shape: frontend
+		// and payload corruption widens the immediate field.
+		if s.Class == blackjack.FaultFrontendWay || s.Class == blackjack.FaultPayloadRAM {
+			s.Field = fault.FieldImm
+		}
+		s.BitMask = 0x3C
+	}
+	if duty != "" && kind != blackjack.FaultKindIntermittent {
+		return s, fmt.Errorf("-duty requires -fault-kind intermittent")
+	}
+	if mask != "" {
+		v, err := strconv.ParseUint(mask, 0, 64)
+		if err != nil {
+			return s, fmt.Errorf("bad -mask %q: %w", mask, err)
+		}
+		s.BitMask = v
+	}
+	return s, nil
+}
+
+// parseDuty parses period/on[@prob].
+func parseDuty(s string) (period, on uint64, prob uint8, err error) {
+	spec := s
+	prob = 100
+	if at := strings.IndexByte(spec, '@'); at >= 0 {
+		p, perr := strconv.ParseUint(spec[at+1:], 10, 8)
+		if perr != nil || p > 100 {
+			return 0, 0, 0, fmt.Errorf("bad -duty probability in %q (want 0-100)", s)
+		}
+		prob = uint8(p)
+		spec = spec[:at]
+	}
+	slash := strings.IndexByte(spec, '/')
+	if slash < 0 {
+		return 0, 0, 0, fmt.Errorf("bad -duty %q (want period/on[@prob])", s)
+	}
+	if period, err = strconv.ParseUint(spec[:slash], 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad -duty period in %q", s)
+	}
+	if on, err = strconv.ParseUint(spec[slash+1:], 10, 64); err != nil {
+		return 0, 0, 0, fmt.Errorf("bad -duty on-window in %q", s)
+	}
+	return period, on, prob, nil
 }
 
 func fatal(err error) {

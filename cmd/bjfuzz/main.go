@@ -12,7 +12,8 @@
 //
 //	bjfuzz -n 500                          # 500 programs, all five variants
 //	bjfuzz -n 200 -variant blackjack       # one variant only
-//	bjfuzz -matrix                         # fault-coverage matrix
+//	bjfuzz -matrix                         # fault-coverage matrix, all fault kinds
+//	bjfuzz -matrix -fault-kind intermittent
 //	bjfuzz -replay internal/diffcheck/testdata/corpus
 //	bjfuzz -emit-corpus 8 -corpus-dir internal/diffcheck/testdata/corpus
 //	bjfuzz -n 5000 -journal fuzz.journal   # crash-resumable session
@@ -48,6 +49,7 @@ func main() {
 
 		matrix     = flag.Bool("matrix", false, "run the fault-injection coverage matrix instead of fuzzing")
 		matrixMode = flag.String("matrix-mode", "blackjack", "machine mode for the coverage matrix (srt, blackjack-ns, blackjack)")
+		faultKind  = flag.String("fault-kind", "", "restrict the coverage matrix to one fault kind: permanent, transient, intermittent, multi-bit, control-flow (empty: all)")
 
 		sampled      = flag.Bool("sampled", false, "verify sampled-campaign equivalence instead of fuzzing: run the latent-defect campaign full and fast-forwarded and require identical outcome tables")
 		sampledBench = flag.String("sampled-bench", "gcc", "benchmark for -sampled")
@@ -66,7 +68,7 @@ func main() {
 
 	switch {
 	case *matrix:
-		runMatrix(*matrixMode, *maxInstr, *seed, *par)
+		runMatrix(*matrixMode, *faultKind, *maxInstr, *seed, *par)
 	case *sampled:
 		runSampled(*matrixMode, *sampledBench, *sampledN, *par)
 	case *replay != "":
@@ -169,17 +171,25 @@ func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shri
 	os.Exit(1)
 }
 
-func runMatrix(modeName string, maxInstr int, seed uint64, par int) {
+func runMatrix(modeName, kindName string, maxInstr int, seed uint64, par int) {
 	mode, err := blackjack.ParseMode(modeName)
 	if err != nil {
 		fatal(err)
 	}
-	m, err := diffcheck.CoverageMatrix(diffcheck.MatrixOptions{
+	opts := diffcheck.MatrixOptions{
 		Mode:     mode,
 		MaxInstr: maxInstr,
 		Seed:     seed,
 		Workers:  par,
-	})
+	}
+	if kindName != "" {
+		kind, err := blackjack.ParseFaultKind(kindName)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Kinds = []blackjack.FaultKind{kind}
+	}
+	m, err := diffcheck.CoverageMatrix(opts)
 	if err != nil {
 		fatal(err)
 	}

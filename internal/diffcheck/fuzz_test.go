@@ -4,7 +4,10 @@ import (
 	"sort"
 	"testing"
 
+	"blackjack/internal/fault"
+	"blackjack/internal/isa"
 	"blackjack/internal/pipeline"
+	"blackjack/internal/sim"
 )
 
 // corpusDir holds the committed seed corpus: minimized failure reproducers
@@ -73,6 +76,85 @@ func FuzzShuffleInvariants(f *testing.F) {
 			}
 		}
 	})
+}
+
+// intermittentFuzzCfg bounds one campaign run the way the checkpoint tests
+// do: a deadlock backstop small enough that wedged outcomes classify fast,
+// and a checkpoint interval that forces the sampled run's fallbacks onto
+// the fork path for part of each program.
+func intermittentFuzzCfg() sim.Config {
+	// A tighter budget and backstop than the pipeline-vs-oracle targets: each
+	// input pays for two whole campaigns (cold and sampled), and wedged
+	// outcomes burn the full cycle backstop, so these bounds set the exec
+	// rate. Equivalence is insensitive to where the window ends.
+	cfg := sim.Default(pipeline.ModeBlackJack, 600)
+	cfg.Machine.MaxCycles = 15_000
+	cfg.CheckpointInterval = 200
+	return cfg
+}
+
+// intermittentFuzzSites is a four-site duty-cycled campaign spanning the
+// structure classes, with the window phases deliberately unaligned so fork
+// points land inside both on- and off-phases.
+func intermittentFuzzSites() []fault.Site {
+	return []fault.Site{
+		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, BitMask: 1 << 9,
+			Kind: fault.KindIntermittent, DutyPeriod: 16, DutyOn: 4, DutyProb: 75},
+		{Class: fault.FrontendWay, Way: 0, Field: fault.FieldRs2,
+			Kind: fault.KindIntermittent, DutyPeriod: 8, DutyOn: 8},
+		{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, CorruptAddr: true, BitMask: 1,
+			Kind: fault.KindIntermittent, DutyPeriod: 32, DutyOn: 1},
+		{Class: fault.PayloadRAM, Slot: 0, Field: fault.FieldImm, BitMask: 2,
+			Kind: fault.KindIntermittent, DutyPeriod: 8, DutyOn: 2, DutyProb: 50},
+	}
+}
+
+// FuzzIntermittentVsOracle decodes arbitrary bytes into a valid program and
+// checks the sampled-equivalence property for duty-cycled faults on it: a
+// checkpointed sampled campaign must classify every intermittent site — via
+// its bit-exact fork/cold fallbacks — exactly as cold full simulation does,
+// with the oracle-referenced outcome class and activated flag preserved.
+func FuzzIntermittentVsOracle(f *testing.F) {
+	addSeeds(f)
+	sites := intermittentFuzzSites()
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := DecodeProgram(data)
+		rep, err := CompareSampledCampaign(intermittentFuzzCfg(), p, sites, sim.InjectOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range rep.Mismatches {
+			t.Errorf("%v", m)
+		}
+	})
+}
+
+// TestIntermittentCorpusSeeds replays the committed seed corpus through the
+// intermittent sampled-equivalence property in plain `go test`, so the
+// duty-cycle fuzz target's seeds stay regression tests without -fuzz.
+func TestIntermittentCorpusSeeds(t *testing.T) {
+	seeds, err := ReadCorpusDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		t.Fatal("empty seed corpus: expected committed seeds in testdata/corpus")
+	}
+	sites := intermittentFuzzSites()
+	names := make([]string, 0, len(seeds))
+	for name := range seeds {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rep, err := CompareSampledCampaign(intermittentFuzzCfg(), DecodeProgram(seeds[name]), sites, sim.InjectOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range rep.Mismatches {
+			t.Errorf("%s: %v", name, m)
+		}
+	}
 }
 
 // TestCorpusSeeds replays the committed seed corpus in plain `go test` (no

@@ -13,10 +13,11 @@ import (
 	"blackjack/internal/sim"
 )
 
-// MatrixCell is one fault-class × pipeline-structure combination of the
-// coverage matrix, aggregated over several concrete sites and stressor
-// programs.
+// MatrixCell is one fault-kind × fault-class × pipeline-structure
+// combination of the coverage matrix, aggregated over several concrete sites
+// and stressor programs.
 type MatrixCell struct {
+	Kind      fault.Kind
 	Class     fault.Class
 	Structure string
 
@@ -32,8 +33,14 @@ type MatrixCell struct {
 	LatencyRuns int
 }
 
-// Name returns "class/structure".
-func (c *MatrixCell) Name() string { return fmt.Sprintf("%v/%s", c.Class, c.Structure) }
+// Name returns "class/structure", prefixed with the fault kind for the
+// non-permanent axes (the permanent cells keep their legacy names).
+func (c *MatrixCell) Name() string {
+	if c.Kind == fault.KindPermanent {
+		return fmt.Sprintf("%v/%s", c.Class, c.Structure)
+	}
+	return fmt.Sprintf("%v/%v/%s", c.Kind, c.Class, c.Structure)
+}
 
 // MeanLatency returns the mean detection latency in cycles (0 when no run
 // measured one).
@@ -84,15 +91,15 @@ func (m *Matrix) Problems() []string {
 func (m *Matrix) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "fault-coverage matrix (%v)\n", m.Mode)
-	fmt.Fprintf(&b, "%-28s %5s %5s %5s %5s %5s %5s %9s  %s\n",
-		"class/structure", "runs", "activ", "det", "benig", "silent", "wedge", "lat(cyc)", "status")
+	fmt.Fprintf(&b, "%-38s %5s %5s %5s %5s %5s %5s %9s  %s\n",
+		"kind/class/structure", "runs", "activ", "det", "benig", "silent", "wedge", "lat(cyc)", "status")
 	for i := range m.Cells {
 		c := &m.Cells[i]
 		status := "ok"
 		if !c.OK() {
 			status = "FAIL"
 		}
-		fmt.Fprintf(&b, "%-28s %5d %5d %5d %5d %5d %5d %9.1f  %s\n",
+		fmt.Fprintf(&b, "%-38s %5d %5d %5d %5d %5d %5d %9.1f  %s\n",
 			c.Name(), c.Runs, c.Activated, c.Detected, c.Benign, c.Silent, c.Wedged, c.MeanLatency(), status)
 	}
 	return b.String()
@@ -100,6 +107,7 @@ func (m *Matrix) String() string {
 
 // matrixCellSpec pairs a cell with its concrete sites and stressor shapes.
 type matrixCellSpec struct {
+	kind      fault.Kind
 	class     fault.Class
 	structure string
 	sites     []fault.Site
@@ -184,6 +192,115 @@ func matrixSpecs(cfg pipeline.Config) []matrixCellSpec {
 	return specs
 }
 
+// kindSpecs derives the coverage cells for one non-permanent fault kind:
+// one cell per pipeline structure (frontend ways, backend ways, payload RAM,
+// register file — control-flow errors live only on the branch-executing
+// backend ways), with the sites re-shaped to the kind's firing model. The
+// permanent axis keeps its exhaustive per-structure enumeration in
+// matrixSpecs; these cells prove each fault model is exercised and covered
+// on every structure class without multiplying the full grid.
+func kindSpecs(cfg pipeline.Config, kind fault.Kind) []matrixCellSpec {
+	if kind == fault.KindControlFlow {
+		var sites []fault.Site
+		for w := 0; w < cfg.Units[isa.UnitIntALU]; w++ {
+			sites = append(sites, fault.Site{
+				Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: w,
+				Kind: fault.KindControlFlow, BitMask: uint64(1 + w%2),
+			})
+		}
+		sites = append(sites, fault.Site{
+			Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0,
+			Kind: fault.KindControlFlow, FlipBranch: true,
+		})
+		return []matrixCellSpec{{
+			kind: kind, class: fault.BackendWay, structure: "branch-ways",
+			sites:  sites,
+			shapes: []prog.StressShape{prog.StressBranch, prog.StressMixed},
+		}}
+	}
+
+	// reshape re-casts a permanent site as the requested kind; i
+	// disambiguates the multi-bit flavor (stuck-at vs wide flip).
+	reshape := func(s fault.Site, i int) fault.Site {
+		switch kind {
+		case fault.KindTransient:
+			s.Transient = true
+			s.FireAt = 5
+		case fault.KindIntermittent:
+			s.Kind = fault.KindIntermittent
+			s.DutyPeriod = 8
+			s.DutyOn = 4
+			s.DutyProb = 75
+		case fault.KindMultiBit:
+			s.Kind = fault.KindMultiBit
+			switch {
+			case s.Class == fault.FrontendWay || s.Class == fault.PayloadRAM:
+				s.Field = fault.FieldImm
+				s.BitMask = 0x3C
+			case i%2 == 0:
+				s.BitMask = 0
+				s.StuckMask = 0xFF << 8
+				s.StuckValue = 0xA5 << 8
+			default:
+				s.BitMask = 0xF << 16
+			}
+		}
+		return s
+	}
+
+	// Store-heavy shapes for the timing-sensitive kinds: a one-shot or
+	// duty-cycled corruption must reach a comparison point to be observable.
+	shapes := []prog.StressShape{prog.StressMem, prog.StressMixed}
+	if kind == fault.KindMultiBit {
+		shapes = []prog.StressShape{prog.StressMixed, prog.StressIntALU}
+	}
+
+	var fe []fault.Site
+	for w := 0; w < cfg.FetchWidth && w < 2; w++ {
+		fe = append(fe, reshape(fault.Site{Class: fault.FrontendWay, Way: w, Field: fault.FieldRs2, BitMask: 4}, w))
+	}
+	var be []fault.Site
+	if kind == fault.KindTransient {
+		// One-shot coverage is defined over faults that reach an output
+		// comparison point (the paper's soft-error claim): a single corrupted
+		// ALU result can die in a register the output comparison never sees,
+		// and a corrupted leading load VALUE is forwarded to the trailing
+		// thread through the LVQ, so both threads agree on it (the paper's
+		// input-replication caveat — load data is assumed ECC-protected).
+		// Effective addresses and branch directions are computed
+		// independently per thread and checked (LVQ address check, store
+		// buffer, BOQ), so these sites are detected or squash-masked to
+		// benign, never silent.
+		for w := 0; w < cfg.Units[isa.UnitMem]; w++ {
+			be = append(be, reshape(fault.Site{Class: fault.BackendWay, Unit: isa.UnitMem, Way: w, CorruptAddr: true, BitMask: 1 << uint(w)}, w))
+		}
+		be = append(be, reshape(fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, FlipBranch: true}, len(be)))
+	} else {
+		for w := 0; w < cfg.Units[isa.UnitIntALU]; w++ {
+			be = append(be, reshape(fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: w, BitMask: 1 << uint(4+w)}, w))
+		}
+		be = append(be, reshape(fault.Site{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, BitMask: 1 << 8}, len(be)))
+	}
+	var pay []fault.Site
+	for i, slot := range []int{0, cfg.IssueQueue / 2} {
+		pay = append(pay, reshape(fault.Site{Class: fault.PayloadRAM, Slot: slot, Field: fault.FieldImm, BitMask: 2}, i))
+	}
+	var reg []fault.Site
+	// Low physical registers are recycled constantly, so even a one-shot
+	// fault reliably sees its FireAt-th read within the budget.
+	for i, r := range []rename.PhysReg{5, 40} {
+		if int(r) < cfg.PhysRegs {
+			reg = append(reg, reshape(fault.Site{Class: fault.RegisterFile, Reg: r, BitMask: 1 << 9}, i))
+		}
+	}
+	return []matrixCellSpec{
+		{kind: kind, class: fault.FrontendWay, structure: "fetch-ways", sites: fe, shapes: shapes},
+		{kind: kind, class: fault.BackendWay, structure: "exec-ways", sites: be, shapes: shapes},
+		{kind: kind, class: fault.PayloadRAM, structure: "issue-queue", sites: pay, shapes: shapes},
+		{kind: kind, class: fault.RegisterFile, structure: "phys-regfile", sites: reg, shapes: shapes},
+	}
+}
+
 // MatrixOptions configures a coverage-matrix run.
 type MatrixOptions struct {
 	Machine  pipeline.Config // zero value selects Table 1
@@ -191,6 +308,10 @@ type MatrixOptions struct {
 	MaxInstr int             // per-injection budget (default 3000)
 	Seed     uint64          // stressor-program seed base
 	Workers  int             // injection fan-out (<= 0: NumCPU)
+	// Kinds restricts the fault-kind axis (bjfuzz -fault-kind); nil runs
+	// every kind: permanent, transient, intermittent, multi-bit and
+	// control-flow.
+	Kinds []fault.Kind
 }
 
 // CoverageMatrix injects every cell's sites into that cell's stressor
@@ -208,7 +329,18 @@ func CoverageMatrix(opts MatrixOptions) (*Matrix, error) {
 	if !opts.Mode.Redundant() {
 		return nil, fmt.Errorf("diffcheck: coverage matrix needs a redundant mode, got %v", opts.Mode)
 	}
-	specs := matrixSpecs(opts.Machine)
+	kinds := opts.Kinds
+	if len(kinds) == 0 {
+		kinds = fault.Kinds()
+	}
+	var specs []matrixCellSpec
+	for _, k := range kinds {
+		if k == fault.KindPermanent {
+			specs = append(specs, matrixSpecs(opts.Machine)...)
+		} else {
+			specs = append(specs, kindSpecs(opts.Machine, k)...)
+		}
+	}
 
 	// Flatten into independent injection runs for the worker pool.
 	type runSpec struct {
@@ -238,7 +370,7 @@ func CoverageMatrix(opts MatrixOptions) (*Matrix, error) {
 
 	m := &Matrix{Mode: opts.Mode}
 	for _, spec := range specs {
-		m.Cells = append(m.Cells, MatrixCell{Class: spec.class, Structure: spec.structure})
+		m.Cells = append(m.Cells, MatrixCell{Kind: spec.kind, Class: spec.class, Structure: spec.structure})
 	}
 	for i, r := range results {
 		c := &m.Cells[runs[i].cell]

@@ -38,7 +38,7 @@ type Options struct {
 	// Every figure and table is byte-identical at every worker count.
 	Parallel int
 	// CheckpointInterval, when positive, makes the fault-injection campaigns
-	// (Ext-A, Ext-C, Ext-F, Ext-G) snapshot their fault-free warmup every
+	// (Ext-A, Ext-C, Ext-F, Ext-G, Ext-I) snapshot their fault-free warmup every
 	// that-many cycles and fork each injection from the latest snapshot
 	// preceding its fault's first activation (see sim.CampaignPlan). Every
 	// figure is byte-identical at every interval; 0 runs every injection cold.
@@ -56,7 +56,7 @@ type Options struct {
 	// Metrics, when non-nil, accumulates the experiment's metrics
 	// (internal/obs): RunSuite exports every run's pipeline.Stats in
 	// deterministic (benchmark, mode) order, and the campaign experiments
-	// (Ext-A, Ext-G) merge their per-mode campaign registries in mode order.
+	// (Ext-A, Ext-G, Ext-I) merge their per-mode campaign registries in mode order.
 	// Tables and figures are unaffected. Must not be shared by concurrent
 	// experiment runs.
 	Metrics *obs.Registry
@@ -72,7 +72,7 @@ type Options struct {
 	// quarantine panicking or over-budget injections.
 	Resilience sim.Resilience
 	// JournalDir, when non-empty, makes every campaign experiment (Ext-A,
-	// Ext-C, Ext-G) journal its completed runs to
+	// Ext-C, Ext-G, Ext-I) journal its completed runs to
 	// <JournalDir>/<experiment>-<benchmark>-<variant>.journal and resume
 	// from any journal already there: re-running after a crash or SIGINT
 	// skips completed injections and reproduces identical tables.
@@ -1077,6 +1077,69 @@ func ExtHTable(rows []ExtHRow, benchmarks []string) *stats.Table {
 	for _, r := range rows {
 		t.AddRow(fmt.Sprint(r.SeedOffset), stats.Pct(r.SRTCov), stats.Pct(r.BJCov),
 			stats.Pct(r.SRTPerf), stats.Pct(r.BJPerf))
+	}
+	return t
+}
+
+// ExtIRow is one (fault kind, mode) campaign outcome of the fault-model
+// diversity study.
+type ExtIRow struct {
+	Kind fault.Kind
+	ExtARow
+}
+
+// ExtISoftIntermittent runs the fault-model diversity study (experiment
+// Ext-I): the canonical campaign of every non-permanent fault kind —
+// one-shot transients, duty-cycled intermittents, multi-bit stuck-at/flip
+// patterns, and control-flow errors — under the unprotected machine, SRT,
+// and BlackJack. The paper targets hard errors (Section 3); this table shows
+// the same temporal-redundancy machinery degrades gracefully across the
+// soft and intermittent regimes: SRT and BlackJack detect every activated
+// fault the comparison points can see, and the unprotected machine's silent
+// column is the exposure being bought down.
+func ExtISoftIntermittent(opts Options, benchmark string) ([]ExtIRow, error) {
+	opts.fill()
+	kinds := []fault.Kind{
+		fault.KindTransient, fault.KindIntermittent,
+		fault.KindMultiBit, fault.KindControlFlow,
+	}
+	var rows []ExtIRow
+	for _, kind := range kinds {
+		sites, err := sim.SitesForKind(opts.Machine, kind)
+		if err != nil {
+			return nil, err
+		}
+		for _, mode := range []pipeline.Mode{pipeline.ModeSingle, pipeline.ModeSRT, pipeline.ModeBlackJack} {
+			cfg := sim.Config{
+				Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
+				Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
+				FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
+				Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
+			}
+			sum, err := runCampaign(opts, fmt.Sprintf("exti-%s-%v-%s", benchmark, kind, mode), cfg,
+				benchmark, sites, sim.InjectOptions{SplitPayload: true})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, ExtIRow{Kind: kind, ExtARow: extARowFromSummary(mode, len(sites), sum)})
+		}
+	}
+	return rows, nil
+}
+
+// ExtITable renders the fault-model diversity study.
+func ExtITable(rows []ExtIRow, benchmark string) *stats.Table {
+	t := stats.NewTable(
+		fmt.Sprintf("Ext-I: Fault-model diversity on %q — SRT vs BlackJack beyond hard errors", benchmark),
+		"kind", "mode", "sites", "activated", "detected", "silent", "benign", "wedged", "quarantined", "detection-rate(%)", "avg-latency(cycles)")
+	for _, r := range rows {
+		lat := "-"
+		if r.AvgDetectLatency >= 0 {
+			lat = fmt.Sprintf("%.0f", r.AvgDetectLatency)
+		}
+		t.AddRow(r.Kind.String(), r.Mode.String(), fmt.Sprint(r.Sites), fmt.Sprint(r.Activated),
+			fmt.Sprint(r.Detected), fmt.Sprint(r.Silent), fmt.Sprint(r.Benign),
+			fmt.Sprint(r.Wedged), fmt.Sprint(r.Quarantined), stats.Pct(r.Rate), lat)
 	}
 	return t
 }

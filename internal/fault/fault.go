@@ -118,29 +118,57 @@ type Site struct {
 	// ArmAt-1 eligible uses and corrupts every use from the ArmAt-th on.
 	// Ignored for transients (FireAt already selects their one shot).
 	ArmAt uint64
+
+	// Kind selects the fault model. The zero value (KindPermanent) keeps the
+	// legacy semantics: permanent, or one-shot when Transient is set.
+	Kind Kind
+
+	// DutyPeriod/DutyOn define a KindIntermittent site's duty cycle in
+	// eligible uses: the first DutyOn uses of every DutyPeriod-use window are
+	// the on-window, the rest are off. DutyProb (a percentage; 0 means 100)
+	// thins the on-window with a deterministic per-use draw seeded from the
+	// site's identity.
+	DutyPeriod uint64
+	DutyOn     uint64
+	DutyProb   uint8
+
+	// StuckMask/StuckValue replace the XOR flip with a stuck-at pattern: the
+	// bits under StuckMask are forced to StuckValue. A stuck bit that already
+	// holds its stuck value corrupts nothing (and does not count as an
+	// activation) — the defining difference from a flip mask.
+	StuckMask  uint64
+	StuckValue uint64
 }
 
 // String describes the site.
 func (s Site) String() string {
+	var base string
 	switch s.Class {
 	case FrontendWay:
-		return fmt.Sprintf("frontend-way %d (field %d)", s.Way, s.Field)
+		base = fmt.Sprintf("frontend-way %d (field %d)", s.Way, s.Field)
 	case BackendWay:
-		kind := "value"
+		what := "value"
 		if s.CorruptAddr {
-			kind = "addr"
+			what = "addr"
 		}
 		if s.FlipBranch {
-			kind = "branch"
+			what = "branch"
 		}
-		return fmt.Sprintf("backend-way %v/%d (%s)", s.Unit, s.Way, kind)
+		if s.kind() == KindControlFlow && !s.FlipBranch {
+			what = "branch-target"
+		}
+		base = fmt.Sprintf("backend-way %v/%d (%s)", s.Unit, s.Way, what)
 	case PayloadRAM:
-		return fmt.Sprintf("payload-ram slot %d thread %d (field %d)", s.Slot, s.Thread, s.Field)
+		base = fmt.Sprintf("payload-ram slot %d thread %d (field %d)", s.Slot, s.Thread, s.Field)
 	case RegisterFile:
-		return fmt.Sprintf("register p%d", s.Reg)
+		base = fmt.Sprintf("register p%d", s.Reg)
 	default:
 		return "unknown fault site"
 	}
+	if k := s.kind(); k != KindPermanent && k != KindTransient {
+		base += " " + k.String()
+	}
+	return base
 }
 
 func (s Site) mask() uint64 {
@@ -154,6 +182,27 @@ func (s Site) triggered(v uint64) bool {
 	return v&s.TriggerMask == s.TriggerValue&s.TriggerMask
 }
 
+// corruptValue applies the site's data corruption: a stuck-at pattern when
+// StuckMask is set, otherwise the XOR flip mask. A stuck-at that matches the
+// value already present returns it unchanged — callers count an activation
+// only when the value actually changed.
+func (s Site) corruptValue(v uint64) uint64 {
+	if s.StuckMask != 0 {
+		return v&^s.StuckMask | s.StuckValue&s.StuckMask
+	}
+	return v ^ s.mask()
+}
+
+// corruptAddr is corruptValue on the word-aligned address lines (the low
+// three bits are byte offsets the datapath never drives).
+func (s Site) corruptAddr(a uint64) uint64 {
+	if s.StuckMask != 0 {
+		m := s.StuckMask << 3
+		return a&^m | (s.StuckValue<<3)&m
+	}
+	return a ^ s.mask()<<3
+}
+
 // corruptInst applies the site's decode corruption.
 func (s Site) corruptInst(in isa.Inst) isa.Inst {
 	switch s.Field {
@@ -164,7 +213,7 @@ func (s Site) corruptInst(in isa.Inst) isa.Inst {
 	case FieldRd:
 		in.Rd = (in.Rd ^ 1) % isa.NumArchRegs
 	case FieldImm:
-		in.Imm ^= int64(s.mask())
+		in.Imm = int64(s.corruptValue(uint64(in.Imm)))
 	case FieldOp:
 		in.Op = isa.Op((uint8(in.Op) + 1) % uint8(isa.NumOps))
 	}
@@ -224,25 +273,20 @@ func (inj *Injector) SeedUses(counts []uint64) {
 	copy(inj.uses, counts)
 }
 
-// fires decides whether site i corrupts this eligible use, accounting for
-// transient (one-shot) and arming (dormant-until-ArmAt) semantics.
+// fires decides whether site i corrupts this eligible use. The firing
+// semantics (transient one-shot, intermittent duty windows, arming) live in
+// Site.firesAt; this only maintains the per-site use counter, skipped
+// entirely for always-on sites.
 func (inj *Injector) fires(i int) bool {
 	s := &inj.Sites[i]
-	if !s.Transient && s.ArmAt == 0 {
+	if !s.counted() {
 		return true
 	}
 	if inj.uses == nil {
 		inj.uses = make([]uint64, len(inj.Sites))
 	}
 	inj.uses[i]++
-	if s.Transient {
-		at := s.FireAt
-		if at == 0 {
-			at = 1
-		}
-		return inj.uses[i] == at
-	}
-	return inj.uses[i] >= s.ArmAt
+	return s.firesAt(inj.uses[i])
 }
 
 // CorruptDecode implements pipeline.Injector.
@@ -287,9 +331,12 @@ func (inj *Injector) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v 
 	for i := range inj.Sites {
 		s := &inj.Sites[i]
 		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
-			!s.CorruptAddr && !s.FlipBranch && s.triggered(v) && inj.fires(i) {
-			v ^= s.mask()
-			inj.activate()
+			!s.CorruptAddr && !s.FlipBranch && s.kind() != KindControlFlow &&
+			s.triggered(v) && inj.fires(i) {
+			if nv := s.corruptValue(v); nv != v {
+				v = nv
+				inj.activate()
+			}
 		}
 	}
 	return v
@@ -301,8 +348,10 @@ func (inj *Injector) CorruptAddr(class isa.UnitClass, way int, addr uint64) uint
 		s := &inj.Sites[i]
 		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
 			s.CorruptAddr && s.triggered(addr) && inj.fires(i) {
-			addr ^= s.mask() << 3 // flip an (aligned) address bit
-			inj.activate()
+			if na := s.corruptAddr(addr); na != addr {
+				addr = na
+				inj.activate()
+			}
 		}
 	}
 	return addr
@@ -320,13 +369,35 @@ func (inj *Injector) CorruptBranch(class isa.UnitClass, way int, taken bool) boo
 	return taken
 }
 
+// CorruptBranchTarget implements pipeline.Injector: a control-flow-error site
+// mis-latches the computed target of branches executed on its way. The
+// corrupted target flows to the redirect points (a mispredicted leading
+// branch steers fetch down the wrong path) and to commit-time validation
+// (the trailing thread's independently computed target exposes it).
+func (inj *Injector) CorruptBranchTarget(class isa.UnitClass, way int, target int) int {
+	for i := range inj.Sites {
+		s := &inj.Sites[i]
+		if s.Class == BackendWay && s.Unit == class && s.Way == way &&
+			s.kind() == KindControlFlow && !s.FlipBranch &&
+			s.triggered(uint64(target)) && inj.fires(i) {
+			if nt := int(s.corruptValue(uint64(target))); nt != target {
+				target = nt
+				inj.activate()
+			}
+		}
+	}
+	return target
+}
+
 // CorruptRegRead implements pipeline.Injector.
 func (inj *Injector) CorruptRegRead(p rename.PhysReg, v uint64) uint64 {
 	for i := range inj.Sites {
 		s := &inj.Sites[i]
 		if s.Class == RegisterFile && s.Reg == p && s.triggered(v) && inj.fires(i) {
-			v ^= s.mask()
-			inj.activate()
+			if nv := s.corruptValue(v); nv != v {
+				v = nv
+				inj.activate()
+			}
 		}
 	}
 	return v

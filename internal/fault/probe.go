@@ -42,6 +42,7 @@ type Probe struct {
 	beVal   map[[2]int][]int
 	beAddr  map[[2]int][]int
 	beBr    map[[2]int][]int
+	beTgt   map[[2]int][]int
 	paySlot map[int][]int
 	regRead map[rename.PhysReg][]int
 }
@@ -59,6 +60,7 @@ func (pr *Probe) ensure() {
 	pr.beVal = make(map[[2]int][]int)
 	pr.beAddr = make(map[[2]int][]int)
 	pr.beBr = make(map[[2]int][]int)
+	pr.beTgt = make(map[[2]int][]int)
 	pr.paySlot = make(map[int][]int)
 	pr.regRead = make(map[rename.PhysReg][]int)
 	for i := range pr.Sites {
@@ -71,6 +73,8 @@ func (pr *Probe) ensure() {
 			switch {
 			case s.FlipBranch:
 				pr.beBr[key] = append(pr.beBr[key], i)
+			case s.kind() == KindControlFlow:
+				pr.beTgt[key] = append(pr.beTgt[key], i)
 			case s.CorruptAddr:
 				pr.beAddr[key] = append(pr.beAddr[key], i)
 			default:
@@ -85,22 +89,16 @@ func (pr *Probe) ensure() {
 	pr.init = true
 }
 
-// fires mirrors Injector.fires exactly, including the eligible-use counting
-// for transients and arming sites, without any corruption side effect.
+// fires mirrors Injector.fires exactly — both delegate the firing decision
+// to Site.firesAt, so the probe cannot drift from the injector — without any
+// corruption side effect.
 func (pr *Probe) fires(i int) bool {
 	s := &pr.Sites[i]
-	if !s.Transient && s.ArmAt == 0 {
+	if !s.counted() {
 		return true
 	}
 	pr.uses[i]++
-	if s.Transient {
-		at := s.FireAt
-		if at == 0 {
-			at = 1
-		}
-		return pr.uses[i] == at
-	}
-	return pr.uses[i] >= s.ArmAt
+	return s.firesAt(pr.uses[i])
 }
 
 // record stamps site i's first value-changing use.
@@ -164,8 +162,13 @@ func (pr *Probe) CorruptPayload(slot, thread int, in isa.Inst) isa.Inst {
 func (pr *Probe) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint64) uint64 {
 	pr.ensure()
 	for _, i := range pr.beVal[[2]int{int(class), way}] {
-		if pr.Sites[i].triggered(v) && pr.fires(i) {
-			pr.record(i) // XOR with a non-zero mask always changes the value
+		s := &pr.Sites[i]
+		if s.triggered(v) && pr.fires(i) {
+			// A stuck-at matching the present value changes nothing; only a
+			// value-changing use counts as the first activation.
+			if s.corruptValue(v) != v {
+				pr.record(i)
+			}
 		}
 	}
 	return v
@@ -175,8 +178,11 @@ func (pr *Probe) CorruptResult(class isa.UnitClass, way int, in isa.Inst, v uint
 func (pr *Probe) CorruptAddr(class isa.UnitClass, way int, addr uint64) uint64 {
 	pr.ensure()
 	for _, i := range pr.beAddr[[2]int{int(class), way}] {
-		if pr.Sites[i].triggered(addr) && pr.fires(i) {
-			pr.record(i)
+		s := &pr.Sites[i]
+		if s.triggered(addr) && pr.fires(i) {
+			if s.corruptAddr(addr) != addr {
+				pr.record(i)
+			}
 		}
 	}
 	return addr
@@ -193,12 +199,29 @@ func (pr *Probe) CorruptBranch(class isa.UnitClass, way int, taken bool) bool {
 	return taken
 }
 
+// CorruptBranchTarget implements pipeline.Injector without mutating.
+func (pr *Probe) CorruptBranchTarget(class isa.UnitClass, way int, target int) int {
+	pr.ensure()
+	for _, i := range pr.beTgt[[2]int{int(class), way}] {
+		s := &pr.Sites[i]
+		if s.triggered(uint64(target)) && pr.fires(i) {
+			if int(s.corruptValue(uint64(target))) != target {
+				pr.record(i)
+			}
+		}
+	}
+	return target
+}
+
 // CorruptRegRead implements pipeline.Injector without mutating.
 func (pr *Probe) CorruptRegRead(p rename.PhysReg, v uint64) uint64 {
 	pr.ensure()
 	for _, i := range pr.regRead[p] {
-		if pr.Sites[i].triggered(v) && pr.fires(i) {
-			pr.record(i)
+		s := &pr.Sites[i]
+		if s.triggered(v) && pr.fires(i) {
+			if s.corruptValue(v) != v {
+				pr.record(i)
+			}
 		}
 	}
 	return v

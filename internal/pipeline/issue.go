@@ -235,6 +235,9 @@ func (m *Machine) issueUOp(u *UOp, way int) {
 			u.Taken = m.inj.CorruptBranch(u.Class, way, u.Taken)
 		}
 		u.Target = out.Target
+		if m.inj != nil {
+			u.Target = m.inj.CorruptBranchTarget(u.Class, way, u.Target)
+		}
 		u.DoneCycle = m.cycle + int64(lat)
 	case inst.IsLoad():
 		m.issueLoad(u, inst, out.Addr)

@@ -35,6 +35,10 @@ type Injector interface {
 	// CorruptBranch corrupts a branch direction computed on backend way
 	// (class, way).
 	CorruptBranch(class isa.UnitClass, way int, taken bool) bool
+	// CorruptBranchTarget corrupts a branch target computed on backend way
+	// (class, way) — the control-flow-error model. The corrupted target feeds
+	// the redirect points and commit-time branch validation.
+	CorruptBranchTarget(class isa.UnitClass, way int, target int) int
 	// CorruptRegRead corrupts a value read from physical register p.
 	CorruptRegRead(p rename.PhysReg, v uint64) uint64
 }

@@ -92,6 +92,9 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 	if len(sites) == 0 {
 		return InjectionResult{}, fmt.Errorf("sim: no fault sites")
 	}
+	if err := fault.ValidateSites(sites); err != nil {
+		return InjectionResult{}, fmt.Errorf("sim: %w", err)
+	}
 	ctx, cancel := cfg.runContext()
 	defer cancel()
 	res, _, err := injectSites(ctx, cfg, p, sites, opts, nil, newGoldenOracle(p), cfg.FastForward)
@@ -272,6 +275,114 @@ func TransientSites(cfg pipeline.Config, fireAt uint64) []fault.Site {
 	return out
 }
 
+// IntermittentSites derives a duty-cycled campaign from the standard sites:
+// every site corrupts the first `on` eligible uses of each `period`-use
+// window, thinned by an activation probability of prob percent (0 means
+// 100). Timing-sensitive like one-shot transients, these stay on bit-exact
+// cold/fork paths in sampled campaigns.
+func IntermittentSites(cfg pipeline.Config, period, on uint64, prob uint8) []fault.Site {
+	sites := StandardSites(cfg)
+	out := make([]fault.Site, 0, len(sites))
+	for _, s := range sites {
+		s.Kind = fault.KindIntermittent
+		s.DutyPeriod = period
+		s.DutyOn = on
+		s.DutyProb = prob
+		out = append(out, s)
+	}
+	return out
+}
+
+// MultiBitSites derives a multi-bit campaign from the standard sites: value
+// sites alternate between wide flip masks and stuck-at patterns, decode
+// sites widen their immediate masks. Branch-direction and address shapes are
+// dropped (their corruption is not a bit pattern).
+func MultiBitSites(cfg pipeline.Config) []fault.Site {
+	sites := StandardSites(cfg)
+	out := make([]fault.Site, 0, len(sites))
+	for i, s := range sites {
+		if s.FlipBranch || s.CorruptAddr {
+			continue
+		}
+		s.Kind = fault.KindMultiBit
+		switch {
+		case s.Class == fault.FrontendWay || s.Class == fault.PayloadRAM:
+			s.Field = fault.FieldImm
+			s.BitMask = 0x3C // a 4-bit flip in the immediate
+		case i%2 == 0:
+			s.BitMask = 0
+			s.StuckMask = 0xFF << 8
+			s.StuckValue = 0xA5 << 8
+		default:
+			s.BitMask = 0xF << 16
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// ControlFlowSites returns a control-flow-error campaign: branch-target
+// mis-latches on every integer-ALU way (where branches execute) plus one
+// direction-flip CFE per machine. Timing-sensitive (the outcome depends on
+// speculative wrong-path state), so sampled campaigns keep them on
+// bit-exact paths.
+func ControlFlowSites(cfg pipeline.Config) []fault.Site {
+	var sites []fault.Site
+	for w := 0; w < cfg.Units[isa.UnitIntALU]; w++ {
+		sites = append(sites, fault.Site{
+			Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: w,
+			Kind: fault.KindControlFlow, BitMask: uint64(1 + w%2),
+		})
+	}
+	sites = append(sites, fault.Site{
+		Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0,
+		Kind: fault.KindControlFlow, FlipBranch: true,
+	})
+	return sites
+}
+
+// SitesForKind builds the canonical campaign for one fault kind — the
+// per-kind axis the soft/intermittent-error experiments and the CLIs'
+// -fault-kind flag iterate over.
+func SitesForKind(cfg pipeline.Config, kind fault.Kind) ([]fault.Site, error) {
+	switch kind {
+	case fault.KindPermanent:
+		return StandardSites(cfg), nil
+	case fault.KindTransient:
+		return TransientSites(cfg, 20), nil
+	case fault.KindIntermittent:
+		return IntermittentSites(cfg, 64, 16, 75), nil
+	case fault.KindMultiBit:
+		return MultiBitSites(cfg), nil
+	case fault.KindControlFlow:
+		return ControlFlowSites(cfg), nil
+	}
+	return nil, fmt.Errorf("sim: no site builder for fault kind %v", kind)
+}
+
+// canonicalKind reports which kind's canonical campaign (SitesForKind)
+// exactly matches the site list, if any — how quarantine repro commands
+// know to include -fault-kind.
+func canonicalKind(cfg pipeline.Config, sites []fault.Site) (fault.Kind, bool) {
+	for _, k := range fault.Kinds() {
+		ref, err := SitesForKind(cfg, k)
+		if err != nil || len(ref) != len(sites) {
+			continue
+		}
+		match := true
+		for i := range ref {
+			if ref[i] != sites[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return k, true
+		}
+	}
+	return fault.KindPermanent, false
+}
+
 // CampaignSummary aggregates injection outcomes.
 type CampaignSummary struct {
 	Results []InjectionResult
@@ -431,6 +542,9 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 	}
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sim: no fault sites")
+	}
+	if err := fault.ValidateSites(sites); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
 	}
 	newWorker := func() *campaignWorker {
 		w := &campaignWorker{sink: &detect.Sink{}, ff: cfg.FastForward}

@@ -154,6 +154,9 @@ func NewCampaignPlan(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 	if len(sites) == 0 {
 		return nil, fmt.Errorf("sim: no fault sites")
 	}
+	if err := fault.ValidateSites(sites); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
 	pl := &CampaignPlan{
 		cfg: cfg, prog: p, sites: sites, opts: opts,
 		oracle: newGoldenOracle(p),
@@ -299,16 +302,18 @@ func (pl *CampaignPlan) injectCtx(ctx context.Context, lo, hi int, sink *detect.
 }
 
 // ffEligible reports whether sites[lo:hi] may be served by fast-forward.
-// One-shot transients are excluded: a transient's outcome depends on the
-// exact dynamic use its single shot corrupts — a microarchitectural event
-// only the bit-exact paths (fork, cold) reproduce. Persistent faults
-// (always-on, trigger-gated, arming) corrupt every eligible use once
-// active, so their classification is robust to the handoff's timing
-// perturbation — the property diffcheck's sampled mode verifies per
-// campaign.
+// Timing-sensitive kinds are excluded (fault.Site.FFEligible): a one-shot
+// transient's outcome depends on the exact dynamic use its shot corrupts, an
+// intermittent's duty windows are indexed by exact eligible-use counts, and
+// a control-flow error's outcome depends on speculative wrong-path state —
+// microarchitectural detail only the bit-exact paths (fork, cold)
+// reproduce. Persistent faults (always-on, trigger-gated, arming,
+// multi-bit) corrupt every eligible use once active, so their
+// classification is robust to the handoff's timing perturbation — the
+// property diffcheck's sampled mode verifies per campaign.
 func (pl *CampaignPlan) ffEligible(lo, hi int) bool {
 	for i := lo; i < hi; i++ {
-		if pl.sites[i].Transient {
+		if !pl.sites[i].FFEligible() {
 			return false
 		}
 	}

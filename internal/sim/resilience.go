@@ -247,6 +247,12 @@ type campaignRunner struct {
 func (c *campaignRunner) repro(i int) string {
 	cmd := fmt.Sprintf("bjfault -bench %s -mode %v -n %d -site-index %d",
 		c.prog.Name, c.cfg.Mode, c.cfg.MaxInstructions, i)
+	// bjfault's -site-index indexes into the canonical list of one fault
+	// kind; when this campaign ran such a list, name it so the replay picks
+	// the same site.
+	if kind, ok := canonicalKind(c.cfg.Machine, c.sites); ok && kind != fault.KindPermanent {
+		cmd += fmt.Sprintf(" -fault-kind %v", kind)
+	}
 	if !c.opts.SplitPayload {
 		cmd += " -split=false"
 	}

@@ -324,6 +324,35 @@ func BenchmarkCampaignCheckpointed16(b *testing.B) { benchCampaign16(b, 2500, fa
 // the sampled tests prove it; this measures the speedup).
 func BenchmarkCampaignFF16(b *testing.B) { benchCampaign16(b, 0, true) }
 
+// BenchmarkSweepWarmCache measures a fully-warm Ext-A sweep: every campaign
+// cell of every mode is served from the content-addressable run cache
+// instead of re-simulated. Compare against BenchmarkExtAFaultInjection (the
+// same sweep cold) for the cache speedup; the warm/cold wall-clock pair is
+// also recorded in the BENCH_campaign.json trajectory by bjexp -bench-json.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	cache, err := OpenRunCache(b.TempDir(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := benchOpts()
+	opts.Instructions = 5000
+	opts.Cache = cache
+	if _, err := experiments.ExtAFaultInjection(opts, "gcc"); err != nil { // fill pass
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ExtAFaultInjection(opts, "gcc"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	st := cache.Stats()
+	b.ReportMetric(float64(st.Hits)/float64(b.N), "hits/op")
+	if st.VerifyDivergences > 0 {
+		b.Fatalf("cache verification found %d divergences", st.VerifyDivergences)
+	}
+}
+
 // benchSuiteParallel measures full-suite wall clock at a given worker count,
 // reporting aggregate committed-instruction throughput across all (benchmark,
 // mode) runs.

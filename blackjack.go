@@ -41,6 +41,7 @@ import (
 	"blackjack/internal/obs"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
+	"blackjack/internal/runcache"
 	"blackjack/internal/sim"
 )
 
@@ -301,6 +302,32 @@ func CheckProgramAllModes(machine MachineConfig, p *Program, maxInstructions int
 func RunCoverageMatrix(opts CoverageMatrixOptions) (*FaultCoverageMatrix, error) {
 	return diffcheck.CoverageMatrix(opts)
 }
+
+// Run cache.
+type (
+	// RunCache is the on-disk content-addressable run cache: entries are
+	// keyed by the full identity of a run (program content, machine
+	// configuration, mode, budget, fault site, execution plan) and served
+	// in place of re-execution. Attach via Config.Cache; tune sampled
+	// re-verification of hits via Config.CacheVerify.
+	RunCache = runcache.Store
+	// RunCacheStats snapshots a cache's hit/miss/eviction counters.
+	RunCacheStats = runcache.Stats
+)
+
+// CacheEnvDir is the environment variable that opts a machine into caching:
+// when set, the CLIs default -cache-dir to its value.
+const CacheEnvDir = runcache.EnvDir
+
+// OpenRunCache opens (creating if needed) the run cache rooted at dir.
+// maxBytes <= 0 selects the default size bound before LRU eviction.
+func OpenRunCache(dir string, maxBytes int64) (*RunCache, error) {
+	return runcache.Open(dir, maxBytes)
+}
+
+// DefaultCacheDir returns the environment opt-in cache directory ("" when
+// the machine has not opted in via CacheEnvDir).
+func DefaultCacheDir() string { return runcache.DefaultDir() }
 
 // Observability.
 type (

@@ -29,6 +29,7 @@ import (
 	"blackjack/internal/obs"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/profiling"
+	"blackjack/internal/runcache"
 	"blackjack/internal/sim"
 )
 
@@ -59,6 +60,10 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of one representative run (-bench under blackjack mode at the suite budget) to this file")
 		metricsOut = flag.String("metrics-out", "", "write the experiment's merged metrics registry as JSON to this file")
+
+		cacheDir = flag.String("cache-dir", runcache.DefaultDir(), "content-addressable run cache directory (default: $"+runcache.EnvDir+"; empty disables caching)")
+		cacheOn  = flag.Bool("cache", true, "serve suite cells, sweep points and campaign cells whose full identity matches a cached entry from -cache-dir instead of re-executing (incremental sweeps)")
+		cacheVer = flag.Float64("cache-verify", 0, "re-execute this fraction of cache hits and diff against the stored outcome; any divergence exits non-zero (0 trusts hits, 1 recomputes all)")
 	)
 	flag.Parse()
 
@@ -92,6 +97,15 @@ func main() {
 	}
 	if *benches != "" {
 		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	var cache *runcache.Store
+	if *cacheOn && *cacheDir != "" {
+		cache, err = runcache.Open(*cacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Cache = cache
+		opts.CacheVerify = *cacheVer
 	}
 
 	if *bjJSON != "" {
@@ -164,10 +178,34 @@ func main() {
 	}
 
 	if metrics != nil {
+		if cache != nil {
+			cache.Export(metrics)
+		}
 		if err := obs.WriteMetricsFile(*metricsOut, metrics); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "bjexp: wrote metrics to %s\n", *metricsOut)
+	}
+	reportCache(cache)
+}
+
+// reportCache prints cache traffic to stderr (stdout tables stay
+// byte-identical to an uncached run) and fails the invocation when sampled
+// verification found a stored outcome diverging from live re-execution.
+func reportCache(c *runcache.Store) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bjexp: cache: %d hits, %d misses, %d evictions, %d bytes\n",
+		st.Hits, st.Misses, st.Evictions, st.Bytes)
+	if st.VerifyDivergences > 0 {
+		fmt.Fprintf(os.Stderr, "bjexp: cache verification: %d of %d recomputed hits diverged\n",
+			st.VerifyDivergences, st.VerifyRuns)
+		os.Exit(4)
 	}
 }
 

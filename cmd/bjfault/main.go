@@ -71,6 +71,10 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON of the run to this file (single -site runs only)")
 		metricsOut = flag.String("metrics-out", "", "write campaign/run metrics as JSON to this file")
+
+		cacheDir = flag.String("cache-dir", blackjack.DefaultCacheDir(), "content-addressable run cache directory (default: $"+blackjack.CacheEnvDir+"; empty disables caching)")
+		cacheOn  = flag.Bool("cache", true, "serve campaign cells whose full identity matches a cached entry from -cache-dir instead of re-executing")
+		cacheVer = flag.Float64("cache-verify", 0, "re-execute this fraction of cache hits and diff against the stored outcome; any divergence exits non-zero (0 trusts hits, 1 recomputes all)")
 	)
 	flag.Parse()
 
@@ -103,6 +107,8 @@ func main() {
 		StallAfter: 30 * time.Second,
 	}
 	opts := blackjack.InjectOptions{SplitPayload: *split}
+	cache := openCache(*cacheDir, *cacheOn, *cacheVer, &cfg)
+	defer reportCache(cache)
 
 	if *traceOut != "" && *site == "" {
 		fatal(fmt.Errorf("-trace-out needs a single -site run (campaigns run many machines)"))
@@ -131,7 +137,7 @@ func main() {
 			fatal(err)
 		}
 		printOne(r)
-		writeMetrics(*metricsOut, metrics)
+		writeMetrics(*metricsOut, metrics, cache)
 		return
 	}
 
@@ -153,7 +159,7 @@ func main() {
 				fatal(err)
 			}
 		}
-		writeMetrics(*metricsOut, metrics)
+		writeMetrics(*metricsOut, metrics, cache)
 		return
 	}
 
@@ -165,13 +171,53 @@ func main() {
 		for _, mm := range []blackjack.Mode{blackjack.ModeSRT, blackjack.ModeBlackJack} {
 			c := cfg
 			c.Mode = mm
-			runCampaign(c, *bench, sites, opts, journalPath(*journal, "-"+mm.String()), *resume, *metricsOut, metrics)
+			runCampaign(c, *bench, sites, opts, journalPath(*journal, "-"+mm.String()), *resume, *metricsOut, metrics, cache)
 		}
-		writeMetrics(*metricsOut, metrics)
+		writeMetrics(*metricsOut, metrics, cache)
 		return
 	}
-	runCampaign(cfg, *bench, sites, opts, *journal, *resume, *metricsOut, metrics)
-	writeMetrics(*metricsOut, metrics)
+	runCampaign(cfg, *bench, sites, opts, *journal, *resume, *metricsOut, metrics, cache)
+	writeMetrics(*metricsOut, metrics, cache)
+}
+
+// openCache attaches the content-addressable run cache when enabled: a
+// campaign cell (or single injection) whose full identity — program
+// content, machine, mode, budget, site, execution plan — matches a stored
+// entry is served from disk instead of re-simulated. Tracing and metrics
+// runs bypass the cache for single injections because they want live
+// pipeline internals.
+func openCache(dir string, enabled bool, verify float64, cfg *blackjack.Config) *blackjack.RunCache {
+	if !enabled || dir == "" {
+		return nil
+	}
+	c, err := blackjack.OpenRunCache(dir, 0)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Cache = c
+	cfg.CacheVerify = verify
+	return c
+}
+
+// reportCache prints cache traffic to stderr (stdout tables stay
+// byte-identical to an uncached campaign) and fails the invocation when
+// sampled verification found a stored outcome diverging from live
+// re-execution.
+func reportCache(c *blackjack.RunCache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bjfault: cache: %d hits, %d misses, %d evictions, %d bytes\n",
+		st.Hits, st.Misses, st.Evictions, st.Bytes)
+	if st.VerifyDivergences > 0 {
+		fmt.Fprintf(os.Stderr, "bjfault: cache verification: %d of %d recomputed hits diverged\n",
+			st.VerifyDivergences, st.VerifyRuns)
+		os.Exit(4)
+	}
 }
 
 // journalPath derives a per-mode journal name for -compare runs (each mode
@@ -184,10 +230,14 @@ func journalPath(base, suffix string) string {
 }
 
 // writeMetrics writes the registry if the flag was given; campaigns merge
-// their per-worker registries into it before this runs.
-func writeMetrics(path string, m *blackjack.Metrics) {
+// their per-worker registries into it before this runs, and the run cache
+// (when attached) exports its hit/miss/eviction counters under runcache.*.
+func writeMetrics(path string, m *blackjack.Metrics, c *blackjack.RunCache) {
 	if path == "" {
 		return
+	}
+	if c != nil {
+		c.Export(m)
 	}
 	if err := blackjack.WriteMetricsFile(path, m); err != nil {
 		fatal(err)
@@ -195,7 +245,7 @@ func writeMetrics(path string, m *blackjack.Metrics) {
 	fmt.Printf("metrics written to %s\n", path)
 }
 
-func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite, opts blackjack.InjectOptions, journal string, resume bool, metricsOut string, metrics *blackjack.Metrics) {
+func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite, opts blackjack.InjectOptions, journal string, resume bool, metricsOut string, metrics *blackjack.Metrics, cache *blackjack.RunCache) {
 	if journal != "" {
 		if !resume {
 			if err := os.Remove(journal); err != nil && !os.IsNotExist(err) {
@@ -213,7 +263,7 @@ func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite
 	if err != nil {
 		if errors.Is(err, context.Canceled) && journal != "" {
 			// Partial results are durable: flush metrics and point at -resume.
-			writeMetrics(metricsOut, metrics)
+			writeMetrics(metricsOut, metrics, cache)
 			fmt.Fprintf(os.Stderr, "bjfault: interrupted; completed runs journaled to %s; re-run with -resume to continue\n", journal)
 			os.Exit(130)
 		}
@@ -232,6 +282,9 @@ func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite
 	// byte-identical across fresh, resumed and retried sessions.
 	if sum.Resumed > 0 {
 		fmt.Fprintf(os.Stderr, "bjfault: %d runs resumed from journal, %d executed\n", sum.Resumed, len(sum.Results)-sum.Resumed)
+	}
+	if sum.CacheHits > 0 {
+		fmt.Fprintf(os.Stderr, "bjfault: %d runs served from cache, %d executed\n", sum.CacheHits, len(sum.Results)-sum.Resumed-sum.CacheHits)
 	}
 	if sum.Retried > 0 {
 		fmt.Fprintf(os.Stderr, "bjfault: %d retries\n", sum.Retried)

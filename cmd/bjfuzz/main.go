@@ -63,6 +63,10 @@ func main() {
 		resume  = flag.Bool("resume", false, "resume from an existing -journal file instead of starting fresh")
 
 		metricsOut = flag.String("metrics-out", "", "write the campaign's summary counters as metrics JSON to this file (fuzzing runs only)")
+
+		cacheDir = flag.String("cache-dir", blackjack.DefaultCacheDir(), "content-addressable run cache directory for -sampled campaigns (default: $"+blackjack.CacheEnvDir+"; empty disables caching)")
+		cacheOn  = flag.Bool("cache", true, "serve -sampled campaign cells whose full identity matches a cached entry from -cache-dir instead of re-executing")
+		cacheVer = flag.Float64("cache-verify", 0, "re-execute this fraction of cache hits and diff against the stored outcome (0 trusts hits, 1 recomputes all)")
 	)
 	flag.Parse()
 
@@ -70,7 +74,7 @@ func main() {
 	case *matrix:
 		runMatrix(*matrixMode, *faultKind, *maxInstr, *seed, *par)
 	case *sampled:
-		runSampled(*matrixMode, *sampledBench, *sampledN, *par)
+		runSampled(*matrixMode, *sampledBench, *sampledN, *par, *cacheDir, *cacheOn, *cacheVer)
 	case *replay != "":
 		runReplay(*replay, *maxInstr)
 	case *emitCorpus > 0:
@@ -205,14 +209,30 @@ func runMatrix(modeName, kindName string, maxInstr int, seed uint64, par int) {
 
 // runSampled is the sampled-simulation soundness gate: the latent-defect
 // campaign (the shape fast-forward exists to accelerate) must classify every
-// site identically under full and sampled execution.
-func runSampled(modeName, bench string, n, par int) {
+// site identically under full and sampled execution. The run cache keys the
+// full and fast-forwarded campaigns separately (ff is part of every cell's
+// identity), so a warm cache replays both sides of the comparison without
+// weakening it.
+func runSampled(modeName, bench string, n, par int, cacheDir string, cacheOn bool, cacheVer float64) {
 	mode, err := blackjack.ParseMode(modeName)
 	if err != nil {
 		fatal(err)
 	}
 	cfg := blackjack.DefaultConfig(mode, n)
 	cfg.Parallel = par
+	if cacheOn && cacheDir != "" {
+		cache, err := blackjack.OpenRunCache(cacheDir, 0)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Cache = cache
+		cfg.CacheVerify = cacheVer
+		defer func() {
+			if st := cache.Stats(); st.Hits+st.Misses > 0 {
+				fmt.Fprintf(os.Stderr, "bjfuzz: cache: %d hits, %d misses\n", st.Hits, st.Misses)
+			}
+		}()
+	}
 	p, err := blackjack.BenchmarkProgram(bench)
 	if err != nil {
 		fatal(err)

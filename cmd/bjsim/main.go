@@ -40,6 +40,10 @@ func main() {
 
 		runTimeout = flag.Duration("run-timeout", 0, "wall-clock budget for the run (0 = unbudgeted); an exceeded budget exits non-zero")
 
+		cacheDir = flag.String("cache-dir", blackjack.DefaultCacheDir(), "content-addressable run cache directory (default: $"+blackjack.CacheEnvDir+"; empty disables caching)")
+		cacheOn  = flag.Bool("cache", true, "serve runs whose full identity matches a cached entry from -cache-dir instead of re-executing")
+		cacheVer = flag.Float64("cache-verify", 0, "re-execute this fraction of cache hits and diff against the stored outcome; any divergence exits non-zero (0 trusts hits, 1 recomputes all)")
+
 		allModes = flag.Bool("all-modes", false, "run all four modes concurrently and print each result")
 		par      = flag.Int("parallel", 0, "worker pool size for batch entry points (0 = NumCPU; a plain single run always uses one machine)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -64,6 +68,7 @@ func main() {
 	cfg := blackjack.DefaultConfig(m, *n)
 	cfg.Parallel = *par
 	cfg.Resilience = blackjack.Resilience{RunTimeout: *runTimeout}
+	cache := openCache(*cacheDir, *cacheOn, *cacheVer, &cfg)
 	if *slack > 0 {
 		cfg.Machine.Slack = *slack
 	}
@@ -141,6 +146,44 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("metrics          %s\n", *metricsOut)
+	}
+	reportCache(cache)
+}
+
+// openCache attaches the content-addressable run cache when enabled. A run
+// whose full identity (program content, machine, mode, budget, sampling
+// plan) matches a stored entry is served from disk; tracing and metrics
+// runs bypass the cache because they want live pipeline internals.
+func openCache(dir string, enabled bool, verify float64, cfg *blackjack.Config) *blackjack.RunCache {
+	if !enabled || dir == "" {
+		return nil
+	}
+	c, err := blackjack.OpenRunCache(dir, 0)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Cache = c
+	cfg.CacheVerify = verify
+	return c
+}
+
+// reportCache prints cache traffic to stderr (stdout stays byte-identical
+// to an uncached run) and fails the invocation when sampled verification
+// found a stored outcome diverging from live re-execution.
+func reportCache(c *blackjack.RunCache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bjsim: cache: %d hits, %d misses, %d evictions, %d bytes\n",
+		st.Hits, st.Misses, st.Evictions, st.Bytes)
+	if st.VerifyDivergences > 0 {
+		fmt.Fprintf(os.Stderr, "bjsim: cache verification: %d of %d recomputed hits diverged\n",
+			st.VerifyDivergences, st.VerifyRuns)
+		os.Exit(4)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"blackjack/internal/journal"
+	"blackjack/internal/runcache"
 )
 
 // fuzzRecord is one completed fuzz program as journaled: everything the
@@ -29,8 +30,10 @@ type FuzzJournal struct {
 	done map[int]fuzzRecord
 }
 
-// fuzzJournalVersion is bumped when fuzzRecord changes incompatibly.
-const fuzzJournalVersion = 1
+// fuzzJournalVersion is bumped when fuzzRecord or the identity schema
+// changes incompatibly. v2: keys fold through the canonical runcache
+// identity encoder and headers record the human-readable parts.
+const fuzzJournalVersion = 2
 
 // OpenFuzzJournal opens (creating or resuming) the fuzz journal at path.
 // The key covers everything that defines program identity and check
@@ -44,15 +47,15 @@ func OpenFuzzJournal(path string, opts FuzzOptions) (*FuzzJournal, error) {
 	if o.Variant != nil {
 		variant = o.Variant.Name
 	}
-	key := journal.KeyHash(
-		fmt.Sprintf("machine=%+v", o.Machine),
-		fmt.Sprintf("seed=%d", o.Seed),
-		fmt.Sprintf("maxinstr=%d", o.MaxInstr),
-		"variant="+variant,
-		fmt.Sprintf("shrink=%v/%d", o.Shrink, o.ShrinkTests),
-	)
+	id := runcache.NewIdentity().
+		AddJSON("machine", o.Machine).
+		Addf("seed", "%d", o.Seed).
+		Addf("maxinstr", "%d", o.MaxInstr).
+		Add("variant", variant).
+		Addf("shrink", "%v/%d", o.Shrink, o.ShrinkTests)
 	j, done, err := journal.Open[fuzzRecord](path, journal.Header{
-		Kind: "fuzz", Key: key, Version: fuzzJournalVersion,
+		Kind: "fuzz", Key: id.Hash64(), Version: fuzzJournalVersion,
+		Parts: id.Parts(),
 	})
 	if err != nil {
 		return nil, err

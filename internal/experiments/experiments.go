@@ -17,6 +17,7 @@ import (
 	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
+	"blackjack/internal/runcache"
 	"blackjack/internal/sim"
 	"blackjack/internal/stats"
 )
@@ -77,6 +78,20 @@ type Options struct {
 	// from any journal already there: re-running after a crash or SIGINT
 	// skips completed injections and reproduces identical tables.
 	JournalDir string
+	// Cache, when non-nil, is the content-addressable run cache
+	// (internal/runcache) every experiment threads into its sim.Config:
+	// suite cells, sweep points and campaign cells whose full identity
+	// (program content, machine, mode, budget, site, execution plan) matches
+	// a stored entry are served from the cache, so re-running a sweep after
+	// a one-parameter edit re-executes only the affected cells. Cached and
+	// live cells merge deterministically — every table and figure is
+	// byte-identical to an uncached run.
+	Cache *runcache.Store
+	// CacheVerify is the trust-but-verify sampling fraction in [0,1]: that
+	// deterministic fraction of cache hits is recomputed live and compared
+	// against the stored outcome (divergences are counted on the store and
+	// the entry healed). 0 trusts every hit; 1 recomputes all of them.
+	CacheVerify float64
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -199,6 +214,7 @@ func RunSuite(opts Options) (*Suite, error) {
 		r, err := sim.RunProgram(sim.Config{
 			Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Ctx: opts.Ctx, Resilience: opts.Resilience,
+			Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 		}, progs[k/len(modes)])
 		if err != nil {
 			return nil, fmt.Errorf("experiments: %s: %w", name, err)
@@ -557,6 +573,7 @@ func ExtAFaultInjection(opts Options, benchmark string) ([]ExtARow, error) {
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
 			FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 			Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
+			Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 		}
 		sum, err := runCampaign(opts, fmt.Sprintf("exta-%s-%s", benchmark, mode), cfg,
 			benchmark, sites, sim.InjectOptions{SplitPayload: true})
@@ -671,6 +688,7 @@ func ExtCPayloadRAM(opts Options, benchmarks []string) ([]ExtCRow, error) {
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
 			FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 			Ctx: opts.Ctx, Resilience: opts.Resilience,
+			Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 		}
 		shared, err := runCampaign(opts, "extc-"+b+"-shared", cfg, b, sites, sim.InjectOptions{SplitPayload: false})
 		if err != nil {
@@ -731,6 +749,7 @@ func ExtDSweep(opts Options, benchmark string, slacks, dtqs []int) ([]ExtDRow, e
 	}
 	baseline, err := sim.RunProgram(sim.Config{
 		Machine: opts.Machine, Mode: pipeline.ModeSingle, MaxInstructions: opts.Instructions,
+		Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 	}, p)
 	if err != nil {
 		return nil, err
@@ -759,6 +778,7 @@ func ExtDSweep(opts Options, benchmark string, slacks, dtqs []int) ([]ExtDRow, e
 		r, err := sim.RunProgram(sim.Config{
 			Machine: machine, Mode: pipeline.ModeBlackJack, MaxInstructions: opts.Instructions,
 			Ctx: opts.Ctx, Resilience: opts.Resilience,
+			Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 		}, p)
 		if err != nil {
 			return ExtDRow{}, err
@@ -826,6 +846,7 @@ func ExtEMergingShuffle(opts Options, benchmarks []string) ([]ExtERow, error) {
 		return sim.RunProgram(sim.Config{
 			Machine: machine, Mode: mode, MaxInstructions: opts.Instructions,
 			Ctx: opts.Ctx, Resilience: opts.Resilience,
+			Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 		}, p)
 	})
 	if err != nil {
@@ -899,6 +920,7 @@ func ExtFMultiFault(opts Options, benchmark string, maxFaults int) ([]ExtFRow, e
 		CheckpointInterval: opts.CheckpointInterval,
 		FastForward:        opts.FastForward, FFWarmup: opts.FFWarmup,
 		Ctx: opts.Ctx, Resilience: opts.Resilience,
+		Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 	}
 	// Every window is a contiguous range of the same site list, so with
 	// checkpointing enabled all of them fork from one shared warmup plan
@@ -969,6 +991,7 @@ func ExtGSoftErrors(opts Options, benchmark string) ([]ExtARow, error) {
 			Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
 			FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 			Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
+			Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 		}
 		sum, err := runCampaign(opts, fmt.Sprintf("extg-%s-%s", benchmark, mode), cfg,
 			benchmark, sites, sim.InjectOptions{SplitPayload: true})
@@ -1035,6 +1058,7 @@ func ExtHSeedRobustness(opts Options, offsets []uint64) ([]ExtHRow, error) {
 			r, err := sim.RunProgram(sim.Config{
 				Machine: opts.Machine, Mode: mode, MaxInstructions: opts.Instructions,
 				Ctx: opts.Ctx, Resilience: opts.Resilience,
+				Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 			}, p)
 			if err != nil {
 				return cell{}, err
@@ -1115,6 +1139,7 @@ func ExtISoftIntermittent(opts Options, benchmark string) ([]ExtIRow, error) {
 				Parallel: opts.Parallel, CheckpointInterval: opts.CheckpointInterval,
 				FastForward: opts.FastForward, FFWarmup: opts.FFWarmup,
 				Metrics: opts.Metrics, Ctx: opts.Ctx, Resilience: opts.Resilience,
+				Cache: opts.Cache, CacheVerify: opts.CacheVerify,
 			}
 			sum, err := runCampaign(opts, fmt.Sprintf("exti-%s-%v-%s", benchmark, kind, mode), cfg,
 				benchmark, sites, sim.InjectOptions{SplitPayload: true})

@@ -44,6 +44,42 @@ type Header struct {
 	// Version is the record-schema version; bumped when a record's meaning
 	// changes incompatibly.
 	Version int `json:"version"`
+	// Parts are the human-readable `key=value` identity parts the Key was
+	// folded from. Purely diagnostic: a mismatch report can then say which
+	// parameter changed instead of only that the folded keys differ. Not
+	// compared for resume admission (Key already fingerprints them).
+	Parts []string `json:"parts,omitempty"`
+}
+
+// matches reports whether two headers describe the same workload. Parts
+// are diagnostic payload, not identity: only Kind, Key and Version gate
+// resume.
+func (h Header) matches(o Header) bool {
+	return h.Kind == o.Kind && h.Key == o.Key && h.Version == o.Version
+}
+
+// diffParts describes the first difference between two part lists ("" when
+// they are identical or either side was written without parts).
+func diffParts(have, want []string) string {
+	if len(have) == 0 || len(want) == 0 {
+		return ""
+	}
+	n := len(have)
+	if len(want) < n {
+		n = len(want)
+	}
+	for i := 0; i < n; i++ {
+		if have[i] != want[i] {
+			return fmt.Sprintf("; parameter changed: file has %q, workload has %q", have[i], want[i])
+		}
+	}
+	switch {
+	case len(have) < len(want):
+		return fmt.Sprintf("; workload adds parameter %q", want[n])
+	case len(have) > len(want):
+		return fmt.Sprintf("; file has extra parameter %q", have[n])
+	}
+	return ""
 }
 
 // envelope is one completed-run line: the item index plus the caller's
@@ -152,9 +188,10 @@ func scan[R any](f *os.File, want Header) (map[int]R, int64, error) {
 	if !complete || json.Unmarshal(line, &hdr) != nil {
 		return nil, 0, fmt.Errorf("journal: bad header line")
 	}
-	if hdr != want {
-		return nil, 0, fmt.Errorf("%w: file has %s/%#x/v%d, workload is %s/%#x/v%d",
-			ErrKeyMismatch, hdr.Kind, hdr.Key, hdr.Version, want.Kind, want.Key, want.Version)
+	if !hdr.matches(want) {
+		return nil, 0, fmt.Errorf("%w: file has %s/%#x/v%d, workload is %s/%#x/v%d%s",
+			ErrKeyMismatch, hdr.Kind, hdr.Key, hdr.Version, want.Kind, want.Key, want.Version,
+			diffParts(hdr.Parts, want.Parts))
 	}
 	good = int64(len(line)) + 1
 	done := make(map[int]R)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -79,6 +80,40 @@ func TestKeyMismatchRefused(t *testing.T) {
 		if _, _, err := Open[rec](path, bad); !errors.Is(err, ErrKeyMismatch) {
 			t.Errorf("Open with header %+v: err = %v, want ErrKeyMismatch", bad, err)
 		}
+	}
+}
+
+func TestKeyMismatchNamesChangedParameter(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.journal")
+	wrote := Header{Kind: "campaign", Key: KeyHash("bench=gcc", "n=8000"), Version: 1,
+		Parts: []string{"bench=gcc", "n=8000"}}
+	j, _, err := Open[rec](path, wrote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	resume := Header{Kind: "campaign", Key: KeyHash("bench=gcc", "n=9000"), Version: 1,
+		Parts: []string{"bench=gcc", "n=9000"}}
+	_, _, err = Open[rec](path, resume)
+	if !errors.Is(err, ErrKeyMismatch) {
+		t.Fatalf("err = %v, want ErrKeyMismatch", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "does not match") {
+		t.Errorf("mismatch message lost the does-not-match marker: %q", msg)
+	}
+	if !strings.Contains(msg, `file has "n=8000"`) || !strings.Contains(msg, `workload has "n=9000"`) {
+		t.Errorf("mismatch message does not name the changed parameter: %q", msg)
+	}
+
+	// Parts are diagnostic only: identical identity with or without parts
+	// must still resume (journals written before parts existed).
+	j2, _, err := Open[rec](path, Header{Kind: "campaign", Key: wrote.Key, Version: 1})
+	if err != nil {
+		t.Errorf("parts-free header refused against parts-bearing journal: %v", err)
+	} else {
+		j2.Close()
 	}
 }
 

@@ -1,0 +1,180 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"blackjack/internal/fault"
+	"blackjack/internal/isa"
+	"blackjack/internal/obs"
+	"blackjack/internal/pipeline"
+	"blackjack/internal/runcache"
+)
+
+func testStore(t *testing.T) *runcache.Store {
+	t.Helper()
+	s, err := runcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// A cached single run must be indistinguishable from a live one, and the
+// second invocation must be a pure hit.
+func TestRunProgramCacheHitIdentical(t *testing.T) {
+	cfg := Default(pipeline.ModeBlackJack, 3000)
+	cfg.Cache = testStore(t)
+	cold, err := Run(cfg, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(cfg, "gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold, warm) {
+		t.Errorf("cached run differs from live run:\nlive %+v\nwarm %+v", cold, warm)
+	}
+	st := cfg.Cache.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", st.Hits, st.Misses)
+	}
+}
+
+// A warm campaign must reproduce the cold campaign's results exactly, with
+// every cell served from the cache, and sampled verification at fraction 1
+// must recompute every hit without finding a divergence.
+func TestCampaignWarmCacheIdentical(t *testing.T) {
+	sites := []fault.Site{
+		{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, BitMask: 1 << 9},
+		{Class: fault.FrontendWay, Way: 1, Field: fault.FieldRs2},
+		{Class: fault.PayloadRAM, Slot: 3, Field: fault.FieldImm, BitMask: 2},
+	}
+	cfg := Default(pipeline.ModeBlackJack, 3000)
+	cfg.Cache = testStore(t)
+	cold, err := Campaign(cfg, "gcc", sites, InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHits != 0 {
+		t.Errorf("cold campaign reports %d cache hits, want 0", cold.CacheHits)
+	}
+	warm, err := Campaign(cfg, "gcc", sites, InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits != len(sites) {
+		t.Errorf("warm campaign reports %d cache hits, want %d", warm.CacheHits, len(sites))
+	}
+	if !reflect.DeepEqual(cold.Results, warm.Results) {
+		t.Errorf("warm campaign results differ from cold:\ncold %+v\nwarm %+v", cold.Results, warm.Results)
+	}
+	if !reflect.DeepEqual(cold.Counts, warm.Counts) {
+		t.Errorf("warm campaign counts differ from cold: %v vs %v", cold.Counts, warm.Counts)
+	}
+
+	// Third pass with full verification: every hit is recomputed live and
+	// must match what the cache stored.
+	cfg.CacheVerify = 1
+	verified, err := Campaign(cfg, "gcc", sites, InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cold.Results, verified.Results) {
+		t.Error("verified campaign results differ from cold")
+	}
+	st := cfg.Cache.Stats()
+	if st.VerifyRuns < uint64(len(sites)) {
+		t.Errorf("verify runs = %d, want >= %d", st.VerifyRuns, len(sites))
+	}
+	if st.VerifyDivergences != 0 {
+		t.Errorf("verification found %d divergences, want 0", st.VerifyDivergences)
+	}
+}
+
+// A campaign cell's identity excludes the surrounding site list, so a cell
+// cached by one campaign is a hit in a different campaign containing the
+// same site — the property that makes sweeps incremental (a one-parameter
+// edit re-executes only the affected cells).
+func TestCampaignCellSharedAcrossSiteLists(t *testing.T) {
+	shared := fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, BitMask: 1 << 9}
+	extra := fault.Site{Class: fault.FrontendWay, Way: 1, Field: fault.FieldRs2}
+	cfg := Default(pipeline.ModeBlackJack, 3000)
+	cfg.Cache = testStore(t)
+	first, err := Campaign(cfg, "gcc", []fault.Site{shared}, InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Campaign(cfg, "gcc", []fault.Site{shared, extra}, InjectOptions{SplitPayload: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.CacheHits != 1 {
+		t.Errorf("second campaign reports %d cache hits, want 1 (the shared site)", second.CacheHits)
+	}
+	if !reflect.DeepEqual(first.Results[0], second.Results[0]) {
+		t.Error("shared cell differs between the two campaigns")
+	}
+}
+
+// An injection with a different budget, mode, or site must never alias a
+// cached entry: each parameter is part of the identity.
+func TestCacheIdentityDiscriminates(t *testing.T) {
+	site := fault.Site{Class: fault.BackendWay, Unit: isa.UnitIntALU, Way: 0, BitMask: 1 << 9}
+	cfg := Default(pipeline.ModeBlackJack, 3000)
+	cfg.Cache = testStore(t)
+	if _, err := Inject(cfg, "gcc", site, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	other := cfg
+	other.MaxInstructions = 2000
+	if _, err := Inject(other, "gcc", site, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.Cache.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 0/2 (distinct budgets must not alias)", st.Hits, st.Misses)
+	}
+}
+
+// Two sites differing only in fields Site.String's human label drops
+// (trigger gates, duty cycles) must never alias one cache entry: identity
+// encodes the site's canonical JSON form, not its display label.
+// Regression test — %+v formatting used the Stringer, collapsing every
+// trigger-gated latent variant of a way onto a single entry.
+func TestCacheIdentityIncludesStringerDroppedFields(t *testing.T) {
+	a := fault.Site{Class: fault.BackendWay, Unit: isa.UnitMem, Way: 0, BitMask: 1 << 8, TriggerMask: 0xff, TriggerValue: 0x05}
+	b := a
+	b.TriggerValue = 0x06
+	cfg := Default(pipeline.ModeBlackJack, 3000)
+	cfg.Cache = testStore(t)
+	if _, err := Inject(cfg, "gcc", a, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Inject(cfg, "gcc", b, InjectOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.Cache.Stats()
+	if st.Hits != 0 || st.Misses != 2 {
+		t.Errorf("stats = %d hits / %d misses, want 0/2 (distinct trigger values must not alias)", st.Hits, st.Misses)
+	}
+}
+
+// Runs with a tracer or metrics registry attached want live pipeline
+// internals; they must bypass the cache in both directions.
+func TestTraceAndMetricsRunsBypassCache(t *testing.T) {
+	cfg := Default(pipeline.ModeBlackJack, 3000)
+	cfg.Cache = testStore(t)
+	if _, err := Run(cfg, "gcc"); err != nil { // fill
+		t.Fatal(err)
+	}
+	cfg.Metrics = obs.NewRegistry()
+	if _, err := Run(cfg, "gcc"); err != nil {
+		t.Fatal(err)
+	}
+	st := cfg.Cache.Stats()
+	if st.Hits != 0 {
+		t.Errorf("metrics run hit the cache (%d hits); it must execute live", st.Hits)
+	}
+}

@@ -3,6 +3,8 @@ package sim
 import (
 	"context"
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"blackjack/internal/detect"
 	"blackjack/internal/fault"
@@ -12,6 +14,7 @@ import (
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
 	"blackjack/internal/rename"
+	"blackjack/internal/runcache"
 )
 
 // Outcome classifies one fault-injection run.
@@ -95,10 +98,18 @@ func InjectProgramMulti(cfg Config, p *isa.Program, sites []fault.Site, opts Inj
 	if err := fault.ValidateSites(sites); err != nil {
 		return InjectionResult{}, fmt.Errorf("sim: %w", err)
 	}
-	ctx, cancel := cfg.runContext()
-	defer cancel()
-	res, _, err := injectSites(ctx, cfg, p, sites, opts, nil, newGoldenOracle(p), cfg.FastForward)
-	return res, err
+	live := func() (InjectionResult, error) {
+		ctx, cancel := cfg.runContext()
+		defer cancel()
+		res, _, err := injectSites(ctx, cfg, p, sites, opts, nil, newGoldenOracle(p), cfg.FastForward)
+		return res, err
+	}
+	// Standalone injections honor Trace/Metrics, so the cache gate matches
+	// the single-run rule: live observability cannot be replayed.
+	if cfg.cacheableSingle() {
+		return cachedInjection(cfg, injectIdentity(cfg, p, sites, opts), live)
+	}
+	return live()
 }
 
 // injectSites is the cold injection path: a fresh machine from cycle 0 with
@@ -404,6 +415,11 @@ type CampaignSummary struct {
 	// WatchdogStalls counts hung-worker reports. Wall-clock driven, so it
 	// also stays out of the deterministic registry.
 	WatchdogStalls int
+	// CacheHits counts runs served from Config.Cache instead of executed.
+	// Like Resumed, it is reported here (and typically on stderr), never
+	// in the metrics registry or the stdout table, so warm and cold
+	// campaigns stay byte-identical.
+	CacheHits int
 }
 
 // DetectionRate returns detected / (detected + silent) over activated runs —
@@ -556,11 +572,23 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 
 	runner := &campaignRunner{cfg: cfg, prog: p, sites: sites, opts: opts}
 	if cfg.CheckpointInterval > 0 || cfg.FastForward {
-		pl, err := NewCampaignPlan(cfg, p, sites, opts)
-		if err != nil {
-			return nil, err
+		// The plan's warmup is a full fault-free simulation — deferred until
+		// the first live run actually needs it, so a fully-cached (or fully
+		// journal-resumed) campaign never pays for it.
+		var (
+			planOnce sync.Once
+			pl       *CampaignPlan
+			planErr  error
+		)
+		plan := func() (*CampaignPlan, error) {
+			planOnce.Do(func() { pl, planErr = NewCampaignPlan(cfg, p, sites, opts) })
+			return pl, planErr
 		}
 		runner.attempt = func(w *campaignWorker, i int, runCtx context.Context) (InjectionResult, pathInfo, error) {
+			pl, err := plan()
+			if err != nil {
+				return InjectionResult{}, pathInfo{}, err
+			}
 			return pl.injectCtx(runCtx, i, i+1, w.sink)
 		}
 	} else {
@@ -574,6 +602,11 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 	var wd *parallel.Watchdog
 	if cfg.Resilience.watchdogArmed() {
 		wd = parallel.NewWatchdog(cfg.Resilience.StallAfter, cfg.Resilience.OnStall)
+	}
+	var cacheHits atomic.Int64
+	var cacheBase *runcache.Identity
+	if cfg.Cache != nil {
+		cacheBase = campaignBaseIdentity(cfg, p, opts)
 	}
 	runOne := func(w *campaignWorker, worker, i int) (InjectionResult, error) {
 		if wd != nil {
@@ -599,9 +632,50 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 				return rec.Result, nil
 			}
 		}
+		var cid *runcache.Identity
+		if cfg.Cache != nil {
+			cid = campaignCellIdentity(cacheBase, sites[i])
+			if cfg.Cache.Get(cid, &rec) {
+				if runcache.ShouldVerify(cid, cfg.CacheVerify) {
+					liveRec, err := runner.run(w, i)
+					if err != nil {
+						return InjectionResult{}, err
+					}
+					if liveRec.Failure == nil {
+						liveRec = cacheSanitizedRecord(liveRec)
+					}
+					diverged := !jsonCacheEqual(liveRec, rec)
+					cfg.Cache.CountVerify(diverged)
+					if diverged {
+						// Serve the live result; heal the entry unless the
+						// live run itself failed to classify.
+						if liveRec.Failure == nil {
+							_ = cfg.Cache.Put(cid, liveRec)
+						}
+						rec = liveRec
+					}
+				}
+				cacheHits.Add(1)
+				// Journal the served run too, so a later resume without the
+				// cache still replays it.
+				if cfg.Journal != nil {
+					if jerr := cfg.Journal.j.Append(i, rec); jerr != nil {
+						return InjectionResult{}, jerr
+					}
+				}
+				w.recordRecord(rec)
+				return rec.Result, nil
+			}
+		}
 		rec, err := runner.run(w, i)
 		if err != nil {
 			return InjectionResult{}, err
+		}
+		if cfg.Cache != nil && rec.Failure == nil {
+			// Quarantined runs (panic, exhausted budget) describe one
+			// process's misfortune, not the run's deterministic outcome —
+			// they are never cached.
+			_ = cfg.Cache.Put(cid, cacheSanitizedRecord(rec))
 		}
 		if cfg.Journal != nil {
 			if jerr := cfg.Journal.j.Append(i, rec); jerr != nil {
@@ -640,6 +714,7 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 		Resumed:        int(runner.resumed.Load()),
 		Retried:        int(runner.retried.Load()),
 		WatchdogStalls: stalls,
+		CacheHits:      int(cacheHits.Load()),
 	}
 	for _, r := range results {
 		sum.Counts[r.Outcome]++

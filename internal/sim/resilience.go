@@ -15,6 +15,7 @@ import (
 	"blackjack/internal/journal"
 	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
+	"blackjack/internal/runcache"
 )
 
 // This file is the campaign resilience layer: per-run isolation (a panicking
@@ -171,37 +172,43 @@ type CampaignJournal struct {
 	done map[int]runRecord
 }
 
-// campaignJournalVersion is bumped when runRecord changes incompatibly.
-const campaignJournalVersion = 1
+// campaignJournalVersion is bumped when runRecord or the identity schema
+// changes incompatibly. v2: keys fold through the canonical runcache
+// identity encoder (adding the machine configuration) and headers record
+// the human-readable parts.
+const campaignJournalVersion = 2
 
 // OpenCampaignJournal opens (creating or resuming) the campaign journal at
 // path. The journal is keyed by everything that defines run identity —
-// program, mode, instruction budget, split-payload option, checkpoint
-// interval and the exact site list — and refuses to resume a journal
-// written for a different campaign. Worker count is deliberately not part
-// of the key: a campaign journaled under one -parallel value resumes under
-// any other.
+// program, machine, mode, instruction budget, split-payload option,
+// checkpoint/fast-forward plan and the exact site list — folded through
+// the canonical identity encoder shared with the run cache
+// (runcache.Identity), and refuses to resume a journal written for a
+// different campaign, naming the changed parameter. Worker count is
+// deliberately not part of the key: a campaign journaled under one
+// -parallel value resumes under any other.
 func OpenCampaignJournal(path string, cfg Config, program string, sites []fault.Site, opts InjectOptions) (*CampaignJournal, error) {
-	parts := []string{
-		"program=" + program,
-		fmt.Sprintf("mode=%v", cfg.Mode),
-		fmt.Sprintf("n=%d", cfg.MaxInstructions),
-		fmt.Sprintf("split=%v", opts.SplitPayload),
-		fmt.Sprintf("ckpt=%d", cfg.CheckpointInterval),
-		fmt.Sprintf("sites=%d", len(sites)),
-	}
+	id := runcache.NewIdentity().
+		Add("kind", "campaign").
+		Add("program", program).
+		Addf("machine", "%+v", cfg.Machine).
+		Addf("mode", "%v", cfg.Mode).
+		Addf("n", "%d", cfg.MaxInstructions).
+		Addf("split", "%v", opts.SplitPayload).
+		Addf("ckpt", "%d", cfg.CheckpointInterval).
+		Addf("ff", "%v", cfg.FastForward)
 	if cfg.FastForward {
 		// Sampled campaigns report window-relative figures, so a sampled
-		// journal must not resume a full campaign (or vice versa, or across
-		// warmup leads). Appended only when on, so pre-fast-forward journal
-		// keys are unchanged.
-		parts = append(parts, "ff=true", fmt.Sprintf("ffw=%d", cfg.ffWarmup()))
+		// journal must not resume a full campaign across warmup leads.
+		id.Addf("ffw", "%d", cfg.ffWarmup())
 	}
+	id.Addf("sites", "%d", len(sites))
 	for _, s := range sites {
-		parts = append(parts, fmt.Sprintf("%+v", s))
+		id.Addf("site", "%+v", s)
 	}
 	j, done, err := journal.Open[runRecord](path, journal.Header{
-		Kind: "campaign", Key: journal.KeyHash(parts...), Version: campaignJournalVersion,
+		Kind: "campaign", Key: id.Hash64(), Version: campaignJournalVersion,
+		Parts: id.Parts(),
 	})
 	if err != nil {
 		return nil, err

@@ -16,6 +16,7 @@ import (
 	"blackjack/internal/parallel"
 	"blackjack/internal/pipeline"
 	"blackjack/internal/prog"
+	"blackjack/internal/runcache"
 )
 
 // Config describes one simulation.
@@ -84,6 +85,22 @@ type Config struct {
 	// interrupted campaign resumes where it stopped (see
 	// OpenCampaignJournal). Only campaign entry points use it.
 	Journal *CampaignJournal
+	// Cache, when non-nil, memoizes run outcomes in an on-disk
+	// content-addressable store (see internal/runcache): campaign cells,
+	// standalone injections and verified single runs whose full identity
+	// (program content, machine, mode, budget, site, execution plan)
+	// matches a stored entry are served from the cache instead of
+	// simulated. Simulation determinism makes this sound; results and
+	// stdout tables are byte-identical with or without the cache. Single
+	// runs bypass the cache when Trace or Metrics is attached — live
+	// occupancy histograms and event traces cannot be replayed from a
+	// cached outcome.
+	Cache *runcache.Store
+	// CacheVerify is the trust-but-verify sampling fraction in [0,1]: that
+	// share of cache hits (deterministically chosen by entry address) is
+	// recomputed live and diffed against the stored outcome, with
+	// divergences counted on the store and the live result served.
+	CacheVerify float64
 }
 
 // DefaultFFWarmup is the default fast-forward warmup lead (committed
@@ -240,6 +257,16 @@ func RunProgram(cfg Config, p *isa.Program) (*Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.cacheableSingle() {
+		return cachedResult(cfg, runIdentity(cfg, p, 0), func() (*Result, error) {
+			return runProgramLive(cfg, p)
+		})
+	}
+	return runProgramLive(cfg, p)
+}
+
+// runProgramLive is RunProgram past validation and cache lookup.
+func runProgramLive(cfg Config, p *isa.Program) (*Result, error) {
 	mopts := cfg.obsOptions()
 	ctx, cancel := cfg.runContext()
 	defer cancel()
@@ -308,6 +335,17 @@ func RunSampledProgram(cfg Config, p *isa.Program, skip int) (*Result, error) {
 	if skip > cfg.MaxInstructions {
 		skip = cfg.MaxInstructions
 	}
+	if cfg.cacheableSingle() {
+		return cachedResult(cfg, runIdentity(cfg, p, skip), func() (*Result, error) {
+			return runSampledLive(cfg, p, skip)
+		})
+	}
+	return runSampledLive(cfg, p, skip)
+}
+
+// runSampledLive is RunSampledProgram past validation, clamping and cache
+// lookup (skip is positive and already clamped to the budget).
+func runSampledLive(cfg Config, p *isa.Program, skip int) (*Result, error) {
 	g, err := isa.AcquireMachine(p)
 	if err != nil {
 		return nil, err

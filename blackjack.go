@@ -33,6 +33,7 @@
 package blackjack
 
 import (
+	"blackjack/internal/calib"
 	"blackjack/internal/detect"
 	"blackjack/internal/diffcheck"
 	"blackjack/internal/experiments"
@@ -372,3 +373,51 @@ func DefaultExperimentOptions() ExperimentOptions { return experiments.DefaultOp
 func RunExperimentSuite(opts ExperimentOptions) (*ExperimentSuite, error) {
 	return experiments.RunSuite(opts)
 }
+
+// Calibration: every paper claim as a typed, executable assertion
+// (internal/calib), plus trend gating over BENCH_*.json trajectories.
+type (
+	// CalibClaim is one paper claim: metric key, paper value, tolerance
+	// band.
+	CalibClaim = calib.Claim
+	// CalibSpec is a named set of claims.
+	CalibSpec = calib.Spec
+	// CalibReport is an evaluated spec with per-claim PASS/DRIFT/FAIL
+	// verdicts and deterministic text/JSON rendering.
+	CalibReport = calib.Report
+	// CalibMeasurements maps metric keys to measured scalars.
+	CalibMeasurements = calib.Measurements
+	// CalibVerdict classifies one evaluated claim.
+	CalibVerdict = calib.Verdict
+	// TrendReport is an evaluated BENCH trajectory: the newest record
+	// gated against the median of the records preceding it, per metric.
+	TrendReport = calib.TrendReport
+	// TrajectoryMismatchError is the typed refusal to append a record to a
+	// trajectory recorded for a different workload.
+	TrajectoryMismatchError = calib.TrajectoryMismatchError
+)
+
+// Calibration verdicts.
+const (
+	CalibPass  = calib.Pass
+	CalibDrift = calib.Drift
+	CalibFail  = calib.Fail
+)
+
+// PaperCalibrationSpec returns the executable form of the EXPERIMENTS.md
+// paper-vs-measured comparison.
+func PaperCalibrationSpec() CalibSpec { return calib.PaperSpec() }
+
+// Calibrate runs the figure suite plus one metrics-attached representative
+// run and evaluates the paper calibration spec.
+func Calibrate(opts ExperimentOptions) (*CalibReport, error) { return experiments.Calibrate(opts) }
+
+// AppendBenchTrajectory appends a flat JSON-marshalable record to the
+// trajectory array at path, migrating legacy single-object files and
+// refusing records whose benchmark/mode/sites identity mismatches the
+// existing records.
+func AppendBenchTrajectory(path string, rec any) error { return calib.AppendTrajectory(path, rec) }
+
+// EvalBenchTrend gates the BENCH trajectory at path with the default trend
+// tolerance windows.
+func EvalBenchTrend(path string) (*TrendReport, error) { return calib.EvalTrendFile(path) }

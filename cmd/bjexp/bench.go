@@ -1,8 +1,6 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
 	"fmt"
 	"os"
 	"reflect"
@@ -178,7 +176,12 @@ func runBenchJSON(path, bench string, n, par int, interval int64, ffWarmup int) 
 		CkptAllocsPerRun:    ckptAllocs,
 		FFAllocsPerRun:      ffAllocs,
 	}
-	if err := appendTrajectory(path, b); err != nil {
+	// The trajectory layer migrates legacy single-object files in place and
+	// refuses — with a typed error naming the field — a record whose
+	// benchmark/mode/sites identity mismatches the records already there: a
+	// trajectory tracks one workload configuration over time, and a mixed
+	// file would corrupt every trend fitted over it.
+	if err := blackjack.AppendBenchTrajectory(path, b); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "bjexp: %d-site campaign on %q: cold %.0fms, checkpointed %.0fms (%.1fx), fast-forwarded %.0fms (%.1fx cold, %.1fx ckpt), cache-warm %.0fms (%.1fx cold, %d hits), %.0f ns/instr -> %s\n",
@@ -186,41 +189,4 @@ func runBenchJSON(path, bench string, n, par int, interval int64, ffWarmup int) 
 		b.FFCampaignMs, b.FFSpeedup, b.FFSpeedupVsCkpt,
 		b.WarmCacheCampaignMs, b.CacheSpeedup, b.CacheHits, b.NsPerInstr, path)
 	return nil
-}
-
-// appendTrajectory appends rec to the JSON array at path. A legacy
-// single-object file (the pre-trajectory format) is migrated in place: its
-// record becomes the array's first element.
-func appendTrajectory(path string, rec campaignBench) error {
-	var records []json.RawMessage
-	if data, err := os.ReadFile(path); err == nil {
-		trimmed := bytes.TrimSpace(data)
-		switch {
-		case len(trimmed) == 0:
-			// Empty file: start a fresh trajectory.
-		case trimmed[0] == '[':
-			if err := json.Unmarshal(trimmed, &records); err != nil {
-				return fmt.Errorf("bench: %s holds an invalid trajectory: %w", path, err)
-			}
-		default:
-			var legacy json.RawMessage
-			if err := json.Unmarshal(trimmed, &legacy); err != nil {
-				return fmt.Errorf("bench: %s holds neither a trajectory nor a legacy record: %w", path, err)
-			}
-			records = append(records, legacy)
-		}
-	} else if !os.IsNotExist(err) {
-		return err
-	}
-	encoded, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	records = append(records, encoded)
-	out, err := json.MarshalIndent(records, "", "  ")
-	if err != nil {
-		return err
-	}
-	out = append(out, '\n')
-	return os.WriteFile(path, out, 0o644)
 }

@@ -50,8 +50,12 @@ func main() {
 		ff      = flag.Bool("ff", false, "sampled fault campaigns: fast-forward each injection's fault-free prefix on the functional model (outcome tables match full simulation; cycle-based columns of fast-forwarded runs are window-relative)")
 		ffWarm  = flag.Int("ff-warmup", 0, "fast-forward warmup lead in committed instructions (0 = default)")
 		bjJSON  = flag.String("bench-json", "", "measure campaign wall-clock (cold vs checkpointed vs fast-forwarded), ns/instr and allocs/run, write JSON here (e.g. BENCH_campaign.json) and exit")
-		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		calibrate = flag.Bool("calibrate", false, "run the figure suite, evaluate every paper claim of the calibration spec (PASS/DRIFT/FAIL per claim) and exit; any FAIL exits with code 5")
+		calibJSON = flag.String("calib-json", "", "with -calibrate, also write the calibration report as JSON to this file")
+		trendGate = flag.String("trend-gate", "", "gate the BENCH trajectory at this path (newest record vs the median of the previous records, per metric) and exit; any regression beyond the drift band exits with code 5")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		journalDir = flag.String("journal-dir", "", "journal every fault campaign's completed runs into this directory; re-running with the same directory resumes")
 		isolate    = flag.Bool("isolate", false, "quarantine panicking or over-budget runs/cells (with repro commands) instead of aborting the experiment")
@@ -112,6 +116,15 @@ func main() {
 		if err := runBenchJSON(*bjJSON, *bench, *n, *par, *ckpt, *ffWarm); err != nil {
 			fatal(err)
 		}
+		return
+	}
+	if *trendGate != "" {
+		runTrendGate(*trendGate)
+		return
+	}
+	if *calibrate {
+		runCalibrate(opts, *calibJSON)
+		reportCache(cache)
 		return
 	}
 

@@ -1,0 +1,203 @@
+package calib
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// randBand draws a band from a random constructor, covering every band
+// shape the spec uses.
+func randBand(rng *rand.Rand) Band {
+	center := rng.Float64()*20 - 10
+	p := rng.Float64() * 2
+	d := p + rng.Float64()*2
+	switch rng.Intn(5) {
+	case 0:
+		return AbsBand(center, p, d)
+	case 1:
+		return RelBand(center, p/2, d/2)
+	case 2:
+		lo := center - rng.Float64()*3
+		return RangeBand(lo, center, lo-rng.Float64()*2, center+rng.Float64()*2)
+	case 3:
+		return AtLeast(center, center-rng.Float64()*3)
+	default:
+		return AtMost(center, center+rng.Float64()*3)
+	}
+}
+
+// Every constructor must produce PASS ⊆ DRIFT: any value that passes also
+// sits inside the drift interval, so widening can only improve verdicts.
+func TestBandPassSubsetOfDrift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		b := randBand(rng)
+		if b.DriftLo > b.PassLo || b.DriftHi < b.PassHi {
+			t.Fatalf("band %+v: drift interval narrower than pass interval", b)
+		}
+		v := rng.Float64()*30 - 15
+		if b.Eval(v) == Pass && (v < b.DriftLo || v > b.DriftHi) {
+			t.Fatalf("band %+v: value %v passes but is outside the drift interval", b, v)
+		}
+	}
+}
+
+// AbsBand is symmetric about its center: equal distances on either side
+// classify identically.
+func TestAbsBandSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 5000; i++ {
+		center := rng.Float64()*20 - 10
+		p := rng.Float64() * 2
+		d := p + rng.Float64()*2
+		b := AbsBand(center, p, d)
+		x := rng.Float64() * 5
+		if got, want := b.Eval(center+x), b.Eval(center-x); got != want {
+			t.Fatalf("AbsBand(%v, %v, %v): center+%v -> %v but center-%v -> %v",
+				center, p, d, x, got, x, want)
+		}
+	}
+}
+
+// Widening a band never worsens a verdict (PASS stays PASS, DRIFT can only
+// become PASS or stay): the monotonicity that makes band tuning safe.
+func TestBandWideningMonotonic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		center := rng.Float64()*20 - 10
+		p := rng.Float64() * 2
+		d := p + rng.Float64()*2
+		k := 1 + rng.Float64()*3 // widening factor >= 1
+		v := rng.Float64()*30 - 15
+		narrow := AbsBand(center, p, d)
+		wide := AbsBand(center, p*k, d*k)
+		if wide.Eval(v) > narrow.Eval(v) {
+			t.Fatalf("widening worsened the verdict: narrow %v -> %v, wide(x%v) -> %v",
+				narrow, narrow.Eval(v), k, wide.Eval(v))
+		}
+		relNarrow := RelBand(center, p/4, d/4)
+		relWide := RelBand(center, p/4*k, d/4*k)
+		if relWide.Eval(v) > relNarrow.Eval(v) {
+			t.Fatalf("RelBand widening worsened the verdict at center %v, v %v", center, v)
+		}
+	}
+}
+
+// A drift interval specified narrower than the pass interval is clamped,
+// never inverted.
+func TestRangeBandNormalization(t *testing.T) {
+	b := RangeBand(1, 3, 1.5, 2.5)
+	if b.DriftLo != 1 || b.DriftHi != 3 {
+		t.Fatalf("RangeBand did not clamp drift to contain pass: %+v", b)
+	}
+	if got := b.Eval(2); got != Pass {
+		t.Fatalf("midpoint verdict = %v, want PASS", got)
+	}
+}
+
+func TestBandEvalEdges(t *testing.T) {
+	b := AbsBand(10, 1, 2)
+	cases := []struct {
+		v    float64
+		want Verdict
+	}{
+		{10, Pass}, {9, Pass}, {11, Pass}, // pass bounds inclusive
+		{8.5, Drift}, {11.5, Drift},
+		{8, Drift}, {12, Drift}, // drift bounds inclusive
+		{7.9, Fail}, {12.1, Fail},
+		{math.NaN(), Fail},
+	}
+	for _, c := range cases {
+		if got := b.Eval(c.v); got != c.want {
+			t.Errorf("Eval(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+	oneSided := AtLeast(5, 3)
+	if got := oneSided.Eval(math.Inf(1)); got != Pass {
+		t.Errorf("AtLeast.Eval(+Inf) = %v, want PASS", got)
+	}
+}
+
+func TestEvaluateMissingMetricFails(t *testing.T) {
+	spec := Spec{Name: "t", Claims: []Claim{
+		{ID: "a", Metric: "present", Band: AbsBand(1, 0.5, 1)},
+		{ID: "b", Metric: "absent", Band: AbsBand(1, 0.5, 1)},
+	}}
+	rep := spec.Evaluate(Measurements{"present": 1.2})
+	if rep.Results[0].Verdict != Pass {
+		t.Errorf("present metric verdict = %v, want PASS", rep.Results[0].Verdict)
+	}
+	if rep.Results[1].Verdict != Fail || rep.Results[1].Measured {
+		t.Errorf("absent metric = %+v, want unmeasured FAIL", rep.Results[1])
+	}
+	if missing := spec.Missing(Measurements{"present": 1.2}); len(missing) != 1 || missing[0] != "absent" {
+		t.Errorf("Missing = %v, want [absent]", missing)
+	}
+	if !rep.Failed() {
+		t.Error("report with an unmeasured claim did not fail")
+	}
+}
+
+func TestResultDelta(t *testing.T) {
+	b := AbsBand(10, 1, 3)
+	c := Claim{Band: b}
+	if d := (Result{Claim: c, Observed: 10.5, Measured: true}).Delta(); d != 0 {
+		t.Errorf("in-band delta = %v, want 0", d)
+	}
+	if d := (Result{Claim: c, Observed: 12, Measured: true}).Delta(); d != 1 {
+		t.Errorf("above-band delta = %v, want 1", d)
+	}
+	if d := (Result{Claim: c, Observed: 8, Measured: true}).Delta(); d != -1 {
+		t.Errorf("below-band delta = %v, want -1", d)
+	}
+	if d := (Result{Claim: c}).Delta(); !math.IsNaN(d) {
+		t.Errorf("unmeasured delta = %v, want NaN", d)
+	}
+}
+
+// The paper spec itself: enough claims, unique IDs, and all four figure
+// categories of the acceptance criteria (coverage, slowdown, issue-cycle,
+// occupancy) represented.
+func TestPaperSpecShape(t *testing.T) {
+	spec := PaperSpec()
+	if len(spec.Claims) < 12 {
+		t.Fatalf("PaperSpec has %d claims, want >= 12", len(spec.Claims))
+	}
+	seen := map[string]bool{}
+	categories := map[string]bool{}
+	for _, c := range spec.Claims {
+		if c.ID == "" || c.Metric == "" || c.Figure == "" {
+			t.Errorf("claim %+v missing ID/Metric/Figure", c)
+		}
+		if seen[c.ID] {
+			t.Errorf("duplicate claim ID %q", c.ID)
+		}
+		seen[c.ID] = true
+		switch {
+		case strings.HasPrefix(c.ID, "fig4"):
+			categories["coverage"] = true
+		case strings.HasPrefix(c.ID, "fig7") || strings.HasPrefix(c.ID, "extb"):
+			categories["slowdown"] = true
+		case strings.HasPrefix(c.ID, "fig5") || strings.HasPrefix(c.ID, "fig6"):
+			categories["issue-cycle"] = true
+		case strings.HasPrefix(c.ID, "occ"):
+			categories["occupancy"] = true
+		}
+	}
+	for _, cat := range []string{"coverage", "slowdown", "issue-cycle", "occupancy"} {
+		if !categories[cat] {
+			t.Errorf("PaperSpec covers no %s claims", cat)
+		}
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	if Pass.String() != "PASS" || Drift.String() != "DRIFT" || Fail.String() != "FAIL" {
+		t.Error("verdict names wrong")
+	}
+	if Verdict(9).String() != "verdict(9)" {
+		t.Errorf("unknown verdict renders %q", Verdict(9).String())
+	}
+}

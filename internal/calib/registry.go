@@ -1,0 +1,21 @@
+package calib
+
+import "blackjack/internal/obs"
+
+// FromRegistry imports a metrics registry into m under a key prefix:
+// counters and gauges keep their names, histograms contribute ".mean" and
+// ".count" leaves. This is how registry-derived claims (queue occupancy)
+// join the suite-derived figures in one measurement set.
+func FromRegistry(m Measurements, reg *obs.Registry, prefix string) {
+	for _, n := range reg.CounterNames() {
+		m[prefix+n] = float64(reg.CounterValue(n))
+	}
+	for _, n := range reg.GaugeNames() {
+		m[prefix+n] = reg.GaugeValue(n)
+	}
+	for _, n := range reg.HistogramNames() {
+		h := reg.HistogramByName(n)
+		m[prefix+n+".mean"] = h.Mean()
+		m[prefix+n+".count"] = float64(h.Count())
+	}
+}

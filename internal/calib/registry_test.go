@@ -1,0 +1,34 @@
+package calib
+
+import (
+	"testing"
+
+	"blackjack/internal/obs"
+)
+
+func TestFromRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("faults.injected").Add(7)
+	reg.Gauge("queue.peak").Set(42.5)
+	h := reg.Histogram("queue.depth", []float64{10, 20})
+	h.Observe(10)
+	h.Observe(20)
+
+	m := Measurements{}
+	FromRegistry(m, reg, RepPrefix)
+
+	want := map[string]float64{
+		"rep.faults.injected":   7,
+		"rep.queue.peak":        42.5,
+		"rep.queue.depth.mean":  15,
+		"rep.queue.depth.count": 2,
+	}
+	if len(m) != len(want) {
+		t.Fatalf("imported %d keys, want %d: %v", len(m), len(want), m)
+	}
+	for k, v := range want {
+		if m[k] != v {
+			t.Errorf("m[%q] = %v, want %v", k, m[k], v)
+		}
+	}
+}

@@ -1,0 +1,122 @@
+package calib
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"blackjack/internal/stats"
+)
+
+// bandLabel renders the PASS interval in the claim's unit, collapsing
+// one-sided bands to inequalities.
+func bandLabel(b Band, u Unit) string {
+	switch {
+	case math.IsInf(b.PassLo, -1) && math.IsInf(b.PassHi, 1):
+		return "any"
+	case math.IsInf(b.PassHi, 1):
+		return ">= " + u.Format(b.PassLo)
+	case math.IsInf(b.PassLo, -1):
+		return "<= " + u.Format(b.PassHi)
+	}
+	return "[" + u.Format(b.PassLo) + ", " + u.Format(b.PassHi) + "]"
+}
+
+// deltaLabel renders the observed-vs-expected delta: empty inside the PASS
+// interval, signed distance to the violated bound otherwise.
+func deltaLabel(r Result) string {
+	if !r.Measured {
+		return "not measured"
+	}
+	d := r.Delta()
+	if d == 0 {
+		return ""
+	}
+	sign := "+"
+	if d < 0 {
+		sign = "-"
+	}
+	return sign + r.Claim.Unit.Format(math.Abs(d))
+}
+
+// Table renders the report as an aligned text table, one claim per row.
+func (r *Report) Table() *stats.Table {
+	pass, drift, fail := r.Counts()
+	t := stats.NewTable(
+		fmt.Sprintf("%s: %d PASS, %d DRIFT, %d FAIL", r.Spec, pass, drift, fail),
+		"claim", "figure", "paper", "pass band", "measured", "delta", "verdict")
+	for _, res := range r.Results {
+		measured := "-"
+		if res.Measured {
+			measured = res.Claim.Unit.Format(res.Observed)
+		}
+		t.AddRow(res.Claim.ID, res.Claim.Figure, res.Claim.Paper,
+			bandLabel(res.Claim.Band, res.Claim.Unit), measured,
+			deltaLabel(res), res.Verdict.String())
+	}
+	return t
+}
+
+// WriteText renders the report table to w.
+func (r *Report) WriteText(w io.Writer) error {
+	_, err := io.WriteString(w, r.Table().String())
+	return err
+}
+
+// jsonBound drops infinite interval bounds to null so the report stays
+// valid JSON (encoding/json rejects ±Inf).
+func jsonBound(v float64) *float64 {
+	if math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+type resultJSON struct {
+	ID       string   `json:"id"`
+	Figure   string   `json:"figure"`
+	Metric   string   `json:"metric"`
+	Desc     string   `json:"desc"`
+	Paper    string   `json:"paper"`
+	PassLo   *float64 `json:"pass_lo"`
+	PassHi   *float64 `json:"pass_hi"`
+	DriftLo  *float64 `json:"drift_lo"`
+	DriftHi  *float64 `json:"drift_hi"`
+	Observed *float64 `json:"observed"`
+	Delta    *float64 `json:"delta"`
+	Verdict  string   `json:"verdict"`
+}
+
+type reportJSON struct {
+	Spec   string       `json:"spec"`
+	Pass   int          `json:"pass"`
+	Drift  int          `json:"drift"`
+	Fail   int          `json:"fail"`
+	Claims []resultJSON `json:"claims"`
+}
+
+// WriteJSON renders the report as deterministic JSON (claims in spec
+// order, fixed field order).
+func (r *Report) WriteJSON(w io.Writer) error {
+	pass, drift, fail := r.Counts()
+	out := reportJSON{Spec: r.Spec, Pass: pass, Drift: drift, Fail: fail,
+		Claims: make([]resultJSON, 0, len(r.Results))}
+	for _, res := range r.Results {
+		c := res.Claim
+		rj := resultJSON{
+			ID: c.ID, Figure: c.Figure, Metric: c.Metric, Desc: c.Desc, Paper: c.Paper,
+			PassLo: jsonBound(c.Band.PassLo), PassHi: jsonBound(c.Band.PassHi),
+			DriftLo: jsonBound(c.Band.DriftLo), DriftHi: jsonBound(c.Band.DriftHi),
+			Verdict: res.Verdict.String(),
+		}
+		if res.Measured {
+			rj.Observed = jsonBound(res.Observed)
+			rj.Delta = jsonBound(res.Delta())
+		}
+		out.Claims = append(out.Claims, rj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

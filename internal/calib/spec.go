@@ -1,0 +1,135 @@
+package calib
+
+// RepPrefix is the measurement-key prefix under which the calibration
+// harness imports the representative metrics-attached run's registry (see
+// FromRegistry and experiments.Calibrate): occupancy claims evaluate
+// "rep.pipeline.iq.occupancy.mean" and friends.
+const RepPrefix = "rep."
+
+// PaperSpec returns the executable form of the EXPERIMENTS.md
+// paper-vs-measured comparison: every headline and per-figure claim as a
+// typed assertion. PASS bands are centered on this repository's known-good
+// 300k-instruction measurements and sized to stay green across the
+// 120k–300k budget range EXPERIMENTS.md documents as stable; DRIFT bands
+// leave room for benign drift before a claim hard-fails. The paper column
+// records what the original evaluation reported, so the report doubles as
+// the comparison table.
+func PaperSpec() Spec {
+	return Spec{
+		Name: "BlackJack paper calibration",
+		Claims: []Claim{
+			// Coverage (Figure 4a/4b).
+			{
+				ID: "fig4a.bj.coverage.avg", Figure: "Fig. 4a", Metric: "fig4a.bj.coverage.avg",
+				Desc:  "BlackJack hard-error instruction coverage, suite average",
+				Paper: "97", Band: AbsBand(0.97, 0.03, 0.05), Unit: Percent,
+			},
+			{
+				ID: "fig4a.bj.coverage.min", Figure: "Fig. 4a", Metric: "fig4a.bj.coverage.min",
+				Desc:  "BlackJack coverage ≈97% on every benchmark (94–99 band)",
+				Paper: ">= 94", Band: AtLeast(0.93, 0.90), Unit: Percent,
+			},
+			{
+				ID: "fig4a.srt.coverage.avg", Figure: "Fig. 4a", Metric: "fig4a.srt.coverage.avg",
+				Desc:  "SRT accidental coverage modest and workload-dependent",
+				Paper: "34", Band: RangeBand(0.18, 0.45, 0.12, 0.50), Unit: Percent,
+			},
+			{
+				ID: "fig4a.srt.fe_diversity.max", Figure: "Fig. 4a", Metric: "fig4a.srt.fe_diversity.max",
+				Desc:  "SRT has exactly zero frontend diversity on every benchmark",
+				Paper: "0", Band: AtMost(0, 0.001), Unit: Percent,
+			},
+			{
+				ID: "fig4a.bj.fe_diversity.min", Figure: "Fig. 4a", Metric: "fig4a.bj.fe_diversity.min",
+				Desc:  "BlackJack has exactly full frontend diversity on every benchmark",
+				Paper: "100", Band: AtLeast(1, 0.999), Unit: Percent,
+			},
+			{
+				ID: "fig4b.srt.coverage.avg", Figure: "Fig. 4b", Metric: "fig4b.srt.coverage.avg",
+				Desc:  "SRT backend-only coverage, suite average",
+				Paper: "~52", Band: RangeBand(0.30, 0.60, 0.25, 0.65), Unit: Percent,
+			},
+			{
+				ID: "fig4b.bj.coverage.avg", Figure: "Fig. 4b", Metric: "fig4b.bj.coverage.avg",
+				Desc:  "BlackJack backend-only coverage, suite average",
+				Paper: "~95.5", Band: AbsBand(0.955, 0.04, 0.06), Unit: Percent,
+			},
+
+			// Interference and burstiness (Figures 5, 6).
+			{
+				ID: "fig5.tt.avg", Figure: "Fig. 5", Metric: "fig5.tt.avg",
+				Desc:  "trailing-trailing interference rare (few % of issue cycles)",
+				Paper: "0.5", Band: AtMost(0.02, 0.03), Unit: Percent,
+			},
+			{
+				ID: "fig5.lt.avg", Figure: "Fig. 5", Metric: "fig5.lt.avg",
+				Desc:  "leading-trailing interference rare (few % of issue cycles)",
+				Paper: "2.3", Band: AtMost(0.06, 0.08), Unit: Percent,
+			},
+			{
+				ID: "fig5.lt_minus_tt", Figure: "Fig. 5", Metric: "fig5.lt_minus_tt",
+				Desc:  "leading-trailing interference dominates trailing-trailing on average",
+				Paper: "LT > TT", Band: AtLeast(0, -0.002), Unit: Points,
+			},
+			{
+				ID: "fig6.single_ctx.avg", Figure: "Fig. 6", Metric: "fig6.single_ctx.avg",
+				Desc:  "most issue cycles are single-context (issue burstiness)",
+				Paper: "70", Band: RangeBand(0.55, 0.95, 0.50, 0.97), Unit: Percent,
+			},
+
+			// Performance (Figure 7, Ext-B).
+			{
+				ID: "fig7.srt.slowdown", Figure: "Fig. 7", Metric: "fig7.srt.slowdown",
+				Desc:  "SRT slowdown vs single thread, suite average",
+				Paper: "21", Band: RangeBand(0.06, 0.30, 0.04, 0.35), Unit: Percent,
+			},
+			{
+				ID: "fig7.bj.slowdown", Figure: "Fig. 7", Metric: "fig7.bj.slowdown",
+				Desc:  "BlackJack slowdown vs single thread, suite average",
+				Paper: "33", Band: RangeBand(0.15, 0.40, 0.10, 0.45), Unit: Percent,
+			},
+			{
+				ID: "fig7.bj_over_srt", Figure: "Fig. 7", Metric: "fig7.bj_over_srt",
+				Desc:  "BlackJack costs ~15% beyond SRT (the headline trade)",
+				Paper: "15", Band: AbsBand(0.15, 0.05, 0.08), Unit: Percent,
+			},
+			{
+				ID: "fig7.ordering.margin", Figure: "Fig. 7", Metric: "fig7.ordering.margin",
+				Desc:  "single > SRT > BlackJack-NS > BlackJack on every benchmark (min margin)",
+				Paper: "strict order", Band: AtLeast(0.0005, 0), Unit: Points,
+			},
+			{
+				ID: "extb.fetch.cost", Figure: "Fig. 7 / Ext-B", Metric: "extb.fetch.cost",
+				Desc:  "one-packet-per-cycle fetch cost (SRT → BlackJack-NS), suite average",
+				Paper: "~10", Band: RangeBand(0.03, 0.15, 0.02, 0.20), Unit: Percent,
+			},
+			{
+				ID: "extb.shuffle.cost", Figure: "Fig. 7 / Ext-B", Metric: "extb.shuffle.cost",
+				Desc:  "shuffle packet-split cost (BlackJack-NS → BlackJack), suite average",
+				Paper: "5", Band: RangeBand(0.03, 0.14, 0.02, 0.18), Unit: Percent,
+			},
+
+			// Queue occupancy (representative metrics-attached BlackJack run;
+			// EXPERIMENTS.md "queue pressure" keys). The paper has no direct
+			// occupancy figure; the reference is this repository's measured
+			// operating point, which the Ext-D sensitivity study depends on
+			// (Table 1's slack/DTQ sit on the flat part of the curve only
+			// while the queues run at these depths).
+			{
+				ID: "occ.iq.mean", Figure: "Queue pressure", Metric: RepPrefix + "pipeline.iq.occupancy.mean",
+				Desc:  "mean issue-queue occupancy under BlackJack (32 entries)",
+				Paper: "n/a", Band: RangeBand(15, 28, 12, 31), Unit: Scalar,
+			},
+			{
+				ID: "occ.dtq.mean", Figure: "Queue pressure", Metric: RepPrefix + "pipeline.dtq.depth.mean",
+				Desc:  "mean DTQ depth under BlackJack, far below the 1024 bound",
+				Paper: "n/a", Band: RangeBand(300, 600, 200, 800), Unit: Scalar,
+			},
+			{
+				ID: "occ.lvq.mean", Figure: "Queue pressure", Metric: RepPrefix + "pipeline.lvq.depth.mean",
+				Desc:  "mean LVQ depth under BlackJack, below the 128 capacity",
+				Paper: "n/a", Band: RangeBand(30, 90, 20, 110), Unit: Scalar,
+			},
+		},
+	}
+}

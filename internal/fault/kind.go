@@ -3,6 +3,8 @@ package fault
 import (
 	"fmt"
 	"math/bits"
+
+	"blackjack/internal/isa"
 )
 
 // Kind is the fault-model taxonomy: how a site behaves over time, as opposed
@@ -259,6 +261,9 @@ func (s Site) Validate() error {
 	case KindControlFlow:
 		if s.Class != BackendWay {
 			return s.invalid("control-flow site must live on a backend way")
+		}
+		if s.Unit != isa.UnitIntALU {
+			return s.invalid("control-flow site must live on a branch-capable way (branches execute on intALU)")
 		}
 		if s.CorruptAddr {
 			return s.invalid("CorruptAddr contradicts a control-flow site")

@@ -2,6 +2,7 @@ package fault
 
 import (
 	"errors"
+	"strings"
 	"testing"
 
 	"blackjack/internal/isa"
@@ -280,5 +281,51 @@ func TestProbeMirrorsIntermittentInjector(t *testing.T) {
 	}
 	if uses := pr.UsesSnapshot(); uses[0] != 40 {
 		t.Errorf("probe uses = %d, want 40", uses[0])
+	}
+}
+
+// TestValidateEdgeCases pins the exact rejection reason for the degenerate
+// shapes that sit right at a rule's boundary: fully-zero duty cycles, a
+// multi-bit site with no mask of either flavor, and control-flow sites on
+// execution units that never see a branch.
+func TestValidateEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		site   Site
+		reason string
+	}{
+		{"zero-duty intermittent",
+			Site{Class: RegisterFile, Kind: KindIntermittent},
+			"DutyPeriod >= 1"},
+		{"zero on-window with period",
+			Site{Class: RegisterFile, Kind: KindIntermittent, DutyPeriod: 1},
+			"DutyOn must be in [1, DutyPeriod]"},
+		{"zero-duty with probability only",
+			Site{Class: RegisterFile, Kind: KindIntermittent, DutyProb: 50},
+			"DutyPeriod >= 1"},
+		{"multi-bit with no mask at all",
+			Site{Class: BackendWay, Unit: isa.UnitIntALU, Kind: KindMultiBit},
+			"at least two bits"},
+		{"multi-bit with empty flip mask and empty stuck mask",
+			Site{Class: BackendWay, Unit: isa.UnitIntALU, Kind: KindMultiBit, BitMask: 0, StuckMask: 0},
+			"at least two bits"},
+		{"control-flow on fp multiplier",
+			Site{Class: BackendWay, Unit: isa.UnitFPMul, Kind: KindControlFlow, BitMask: 1},
+			"branch-capable"},
+		{"control-flow on memory unit",
+			Site{Class: BackendWay, Unit: isa.UnitMem, Kind: KindControlFlow, FlipBranch: true},
+			"branch-capable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.site.Validate()
+			var se *SiteError
+			if !errors.As(err, &se) {
+				t.Fatalf("Validate = %v, want *SiteError", err)
+			}
+			if !strings.Contains(se.Reason, tc.reason) {
+				t.Errorf("reason %q does not mention %q", se.Reason, tc.reason)
+			}
+		})
 	}
 }

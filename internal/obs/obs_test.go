@@ -303,3 +303,25 @@ func TestChromeTraceIsValidJSON(t *testing.T) {
 		t.Errorf("shuffle args wrong: %v", args)
 	}
 }
+
+func TestRegistryNameListings(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count")
+	r.Counter("a.count")
+	r.Gauge("z.gauge")
+	r.Histogram("h.depth", []float64{1, 2})
+	wantEq := func(got, want []string) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("names = %v, want %v", got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("names = %v, want %v", got, want)
+			}
+		}
+	}
+	wantEq(r.CounterNames(), []string{"a.count", "b.count"})
+	wantEq(r.GaugeNames(), []string{"z.gauge"})
+	wantEq(r.HistogramNames(), []string{"h.depth"})
+}

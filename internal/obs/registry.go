@@ -222,6 +222,15 @@ func (r *Registry) GaugeValue(name string) float64 {
 // HistogramByName returns the named histogram, or nil.
 func (r *Registry) HistogramByName(name string) *Histogram { return r.hists[name] }
 
+// CounterNames returns every registered counter name, sorted.
+func (r *Registry) CounterNames() []string { return r.sortedCounterNames() }
+
+// GaugeNames returns every registered gauge name, sorted.
+func (r *Registry) GaugeNames() []string { return r.sortedGaugeNames() }
+
+// HistogramNames returns every registered histogram name, sorted.
+func (r *Registry) HistogramNames() []string { return r.sortedHistNames() }
+
 // Merge folds o into r: counters and gauges add, histograms add per bucket
 // (their bounds must match). Every operation is commutative and
 // associative, so merging per-worker registries yields identical results

@@ -357,3 +357,46 @@ func TestExportCounters(t *testing.T) {
 		t.Error("runcache.bytes not exported")
 	}
 }
+
+// TestDiffPartsNamesFirstMismatch: when several parameters differ, the
+// message names the earliest one — the stable anchor a user greps for.
+func TestDiffPartsNamesFirstMismatch(t *testing.T) {
+	cases := []struct {
+		name       string
+		have, want []string
+		sub        string
+	}{
+		{"first of several diffs wins",
+			[]string{"program=gzip", "mode=srt", "n=9000"},
+			[]string{"program=gcc", "mode=blackjack", "n=8000"},
+			`file has "program=gzip", workload has "program=gcc"`},
+		{"later diffs not reported",
+			[]string{"program=gcc", "mode=srt", "n=9000"},
+			[]string{"program=gcc", "mode=blackjack", "n=8000"},
+			`file has "mode=srt", workload has "mode=blackjack"`},
+		{"both empty", nil, nil, ""},
+		{"empty file vs workload",
+			nil, []string{"program=gcc"},
+			`workload adds parameter "program=gcc"`},
+		{"file vs empty workload",
+			[]string{"program=gcc"}, nil,
+			`file has extra parameter "program=gcc"`},
+		{"empty-string part still compared",
+			[]string{""}, []string{"program=gcc"},
+			`file has "", workload has "program=gcc"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := DiffParts(tc.have, tc.want)
+			if tc.sub == "" {
+				if got != "" {
+					t.Fatalf("DiffParts = %q, want empty", got)
+				}
+				return
+			}
+			if !strings.Contains(got, tc.sub) {
+				t.Fatalf("DiffParts = %q, want substring %q", got, tc.sub)
+			}
+		})
+	}
+}

@@ -33,6 +33,8 @@
 package blackjack
 
 import (
+	"io"
+
 	"blackjack/internal/calib"
 	"blackjack/internal/detect"
 	"blackjack/internal/diffcheck"
@@ -252,6 +254,28 @@ func InjectProgram(cfg Config, p *Program, site FaultSite, opts InjectOptions) (
 // Campaign injects every site into the same benchmark and summarizes.
 func Campaign(cfg Config, benchmark string, sites []FaultSite, opts InjectOptions) (*CampaignSummary, error) {
 	return sim.Campaign(cfg, benchmark, sites, opts)
+}
+
+// RunProgress is one completed campaign run as delivered to
+// Config.OnProgress — the job-level progress hook campaign services stream
+// events from.
+type RunProgress = sim.RunProgress
+
+// FormatInjectionResult renders one campaign row exactly as bjfault prints
+// it (site, outcome, activations, first detection event).
+func FormatInjectionResult(r InjectionResult) string { return sim.FormatInjectionResult(r) }
+
+// WriteCampaignTable writes a campaign's outcome table — header, one row
+// per site, summary — byte-identically to bjfault's stdout, so batch and
+// served executions of the same work are diffable.
+func WriteCampaignTable(w io.Writer, mode Mode, benchmark string, sum *CampaignSummary) error {
+	return sim.WriteCampaignTable(w, mode, benchmark, sum)
+}
+
+// IsLatentCampaign reports whether sites is exactly the canonical 16-site
+// latent campaign for the machine.
+func IsLatentCampaign(machine MachineConfig, sites []FaultSite) bool {
+	return sim.IsLatentCampaign(machine, sites)
 }
 
 // StandardFaultSites returns the canonical campaign for a machine: every

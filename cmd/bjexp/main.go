@@ -23,6 +23,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"blackjack/internal/experiments"
@@ -77,7 +78,9 @@ func main() {
 	}
 	defer stopProf()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the plain `kill` default) drains exactly like SIGINT:
+	// journals flush, partial metrics merge, exit 130 with a resume hint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opts := experiments.DefaultOptions()

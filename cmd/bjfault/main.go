@@ -17,9 +17,10 @@
 //	bjfault -site backend -fault-kind intermittent -duty 32/8@50
 //	bjfault -site backend -fault-kind multi-bit -mask 0xFF00
 //
-// A campaign run with -journal survives crashes and SIGINT: re-running the
-// same command with -resume skips every completed injection. SIGINT is a
-// graceful shutdown — in-flight runs drain, completed records are flushed.
+// A campaign run with -journal survives crashes and signals: re-running the
+// same command with -resume skips every completed injection. SIGINT and
+// SIGTERM are both graceful shutdowns — in-flight runs drain, completed
+// records are flushed, and the exit status is 130 with a resume hint.
 package main
 
 import (
@@ -31,6 +32,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"blackjack"
@@ -52,6 +54,7 @@ func main() {
 		reg     = flag.Int("reg", 200, "physical register for register sites")
 		split   = flag.Bool("split", true, "model split per-thread payload RAMs")
 		kindStr = flag.String("fault-kind", "permanent", "fault model: permanent, transient, intermittent, multi-bit, control-flow (selects the campaign site list and modifies -site runs)")
+		sitesel = flag.String("sites", "standard", "campaign site list: standard (canonical per -fault-kind) or latent (the 16-site latent-defect campaign; permanent faults only)")
 		duty    = flag.String("duty", "", "intermittent duty cycle as period/on[@prob], e.g. 32/8@50 (default 64/16@75; -site runs)")
 		mask    = flag.String("mask", "", "bit mask overriding the site's default, hex or decimal (e.g. 0xFF00; -site runs)")
 		compare = flag.Bool("compare", false, "run the campaign under srt AND blackjack and compare")
@@ -92,7 +95,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the plain `kill` default, and what most supervisors send)
+	// takes the same drain-and-resume path as SIGINT: stop new runs, flush
+	// journal and metrics, exit 130 with a resume hint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	cfg := blackjack.DefaultConfig(m, *n)
 	cfg.Parallel = *par
@@ -125,7 +131,7 @@ func main() {
 	}
 
 	if *siteIndex >= 0 {
-		sites, err := blackjack.FaultSitesForKind(cfg.Machine, kind)
+		sites, err := selectSites(cfg.Machine, kind, *sitesel)
 		if err != nil {
 			fatal(err)
 		}
@@ -163,7 +169,7 @@ func main() {
 		return
 	}
 
-	sites, err := blackjack.FaultSitesForKind(cfg.Machine, kind)
+	sites, err := selectSites(cfg.Machine, kind, *sitesel)
 	if err != nil {
 		fatal(err)
 	}
@@ -269,15 +275,9 @@ func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite
 		}
 		fatal(err)
 	}
-	fmt.Printf("== %s on %q: %d sites ==\n", cfg.Mode, bench, len(sites))
-	for _, r := range sum.Results {
-		printOne(r)
+	if err := blackjack.WriteCampaignTable(os.Stdout, cfg.Mode, bench, sum); err != nil {
+		fatal(err)
 	}
-	fmt.Printf("summary: %d activated, detection rate %.1f%% (detected %d, silent %d, benign %d, wedged %d, quarantined %d)\n\n",
-		sum.ActiveRuns, 100*sum.DetectionRate(),
-		sum.Counts[blackjack.OutcomeDetected], sum.Counts[blackjack.OutcomeSilent],
-		sum.Counts[blackjack.OutcomeBenign], sum.Counts[blackjack.OutcomeWedged],
-		sum.Counts[blackjack.OutcomeQuarantined])
 	// Operational annotations go to stderr so stdout tables stay
 	// byte-identical across fresh, resumed and retried sessions.
 	if sum.Resumed > 0 {
@@ -299,11 +299,24 @@ func runCampaign(cfg blackjack.Config, bench string, sites []blackjack.FaultSite
 }
 
 func printOne(r blackjack.InjectionResult) {
-	detail := ""
-	if r.FirstEvent != nil {
-		detail = " | " + r.FirstEvent.String()
+	fmt.Println(blackjack.FormatInjectionResult(r))
+}
+
+// selectSites resolves the -sites flag: the canonical per-kind campaign, or
+// the 16-site latent-defect campaign (permanent faults only — the latent
+// scenario models hard defects by construction).
+func selectSites(machine blackjack.MachineConfig, kind blackjack.FaultKind, sel string) ([]blackjack.FaultSite, error) {
+	switch sel {
+	case "standard":
+		return blackjack.FaultSitesForKind(machine, kind)
+	case "latent":
+		if kind != blackjack.FaultKindPermanent {
+			return nil, fmt.Errorf("-sites latent models permanent latent defects (got -fault-kind %v)", kind)
+		}
+		return blackjack.LatentFaultSites(machine), nil
+	default:
+		return nil, fmt.Errorf("unknown -sites %q (want standard or latent)", sel)
 	}
-	fmt.Printf("%-44s %-17s activations=%-7d%s\n", r.Site, r.Outcome, r.Activations, detail)
 }
 
 func buildSite(class string, way int, unit string, slot, reg int) (blackjack.FaultSite, error) {

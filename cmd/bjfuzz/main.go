@@ -18,9 +18,9 @@
 //	bjfuzz -emit-corpus 8 -corpus-dir internal/diffcheck/testdata/corpus
 //	bjfuzz -n 5000 -journal fuzz.journal   # crash-resumable session
 //
-// A fuzzing run with -journal survives crashes and SIGINT: re-running the
-// same command with -resume skips every completed program (at any -parallel
-// value, and even under a larger -n).
+// A fuzzing run with -journal survives crashes, SIGINT, and SIGTERM:
+// re-running the same command with -resume skips every completed program (at
+// any -parallel value, and even under a larger -n).
 package main
 
 import (
@@ -31,6 +31,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"blackjack"
 	"blackjack/internal/diffcheck"
@@ -103,7 +104,9 @@ func writeFuzzMetrics(path string, sum *blackjack.FuzzSummary) {
 }
 
 func runFuzz(n int, seed uint64, maxInstr int, variantName string, par int, shrink bool, reproDir, journal string, resume bool, metricsOut string) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// SIGTERM (the plain `kill` default) drains exactly like SIGINT:
+	// completed programs flush to the journal, exit 130 with a resume hint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	opts := diffcheck.FuzzOptions{
 		Programs: n,

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"blackjack"
 	"blackjack/internal/isa"
@@ -34,6 +37,18 @@ func main() {
 				b, prof.Streams, prof.ChainFrac, prof.WorkingSetKB, prof.RandLoadFrac, prof.BranchEvery)
 		}
 		return
+	}
+
+	// SIGINT and SIGTERM behave identically: bjgen finishes the phase in
+	// flight, skips the remaining ones, and exits 130. Phases are short, so a
+	// checkpoint between each is enough for a prompt, clean stop.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	checkpoint := func() {
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "bjgen: interrupted")
+			os.Exit(130)
+		}
 	}
 
 	p, err := blackjack.BenchmarkProgram(*bench)
@@ -85,6 +100,7 @@ func main() {
 		reg.Counter("gen.branches").Add(uint64(branches))
 	}
 
+	checkpoint()
 	if *run > 0 {
 		m, err := isa.NewMachine(p)
 		if err != nil {
@@ -99,6 +115,7 @@ func main() {
 		}
 	}
 
+	checkpoint()
 	if reg != nil {
 		if err := blackjack.WriteMetricsFile(*metricsOut, reg); err != nil {
 			fatal(err)

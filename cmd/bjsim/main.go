@@ -2,7 +2,8 @@
 // detailed statistics.
 //
 // Exit codes: 0 success, 1 usage or simulation error, 3 the machine
-// deadlocked before exhausting its instruction budget.
+// deadlocked before exhausting its instruction budget, 130 the run was
+// stopped by SIGINT or SIGTERM.
 //
 // Usage:
 //
@@ -10,11 +11,14 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"blackjack"
 	"blackjack/internal/pipeline"
@@ -65,7 +69,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// SIGINT and SIGTERM both cancel the run context: the simulator stops at
+	// the next poll point with a typed *InterruptedError and bjsim exits 130.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 	cfg := blackjack.DefaultConfig(m, *n)
+	cfg.Ctx = ctx
 	cfg.Parallel = *par
 	cfg.Resilience = blackjack.Resilience{RunTimeout: *runTimeout}
 	cache := openCache(*cacheDir, *cacheOn, *cacheVer, &cfg)
@@ -131,6 +140,11 @@ func main() {
 		if errors.As(err, &dead) {
 			fmt.Fprintln(os.Stderr, "bjsim:", err)
 			os.Exit(3)
+		}
+		var intr *blackjack.InterruptedError
+		if errors.As(err, &intr) && ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "bjsim: interrupted:", err)
+			os.Exit(130)
 		}
 		fatal(err)
 	}

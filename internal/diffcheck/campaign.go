@@ -44,6 +44,11 @@ type FuzzOptions struct {
 	// Resumed programs replay their journaled contribution instead of
 	// re-running, and the summary is identical to an uninterrupted one.
 	Journal *FuzzJournal
+	// OnProgress, when non-nil, observes every completed program: live runs
+	// and journal replays alike (resumed reports which). It is called from
+	// worker goroutines, so it must be safe for concurrent use and should
+	// not block; it cannot change results.
+	OnProgress func(index int, resumed bool, divergences int)
 }
 
 func (o *FuzzOptions) withDefaults() FuzzOptions {
@@ -203,6 +208,9 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 	results, err := parallel.MapCtx(o.Ctx, o.Workers, o.Programs, func(i int) (*outcome, error) {
 		if o.Journal != nil {
 			if rec, ok := o.Journal.done[i]; ok {
+				if o.OnProgress != nil {
+					o.OnProgress(i, true, len(rec.Divergences))
+				}
 				return &outcome{rec: rec, resumed: true}, nil
 			}
 		}
@@ -224,6 +232,9 @@ func Fuzz(opts FuzzOptions) (*FuzzSummary, error) {
 			if err := o.Journal.j.Append(i, out.rec); err != nil {
 				return nil, fmt.Errorf("diffcheck: journal program %d: %w", i, err)
 			}
+		}
+		if o.OnProgress != nil {
+			o.OnProgress(i, false, len(out.rec.Divergences))
 		}
 		return out, nil
 	})

@@ -66,6 +66,11 @@ func OpenFuzzJournal(path string, opts FuzzOptions) (*FuzzJournal, error) {
 // Done returns how many completed programs the journal already holds.
 func (fj *FuzzJournal) Done() int { return len(fj.done) }
 
+// SetSyncEvery overrides the fsync cadence: 1 makes every completed program
+// durable before its Append returns (service posture — a SIGKILL at any
+// instant loses nothing), <= 0 restores batched fsyncs.
+func (fj *FuzzJournal) SetSyncEvery(n int) { fj.j.SetSyncEvery(n) }
+
 // Sync flushes and fsyncs pending records (graceful-shutdown path).
 func (fj *FuzzJournal) Sync() error { return fj.j.Sync() }
 

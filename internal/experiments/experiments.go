@@ -92,6 +92,13 @@ type Options struct {
 	// against the stored outcome (divergences are counted on the store and
 	// the entry healed). 0 trusts every hit; 1 recomputes all of them.
 	CacheVerify float64
+	// OnRun, when non-nil, observes every completed campaign run of the
+	// fault-injection experiments (Ext-A, Ext-C, Ext-G, Ext-I) — live,
+	// journal-replayed, and cache-served alike (see sim.Config.OnProgress).
+	// Called from worker goroutines, so it must be concurrency-safe; it is
+	// observational only and cannot change results. Job-level progress
+	// streaming (internal/serve) hangs off this hook.
+	OnRun func(sim.RunProgress)
 }
 
 // DefaultOptions returns the standard experiment setup.
@@ -119,6 +126,7 @@ func (o *Options) fill() {
 // resumable journal named after the (experiment, benchmark, variant)
 // identity when opts.JournalDir is set.
 func runCampaign(opts Options, name string, cfg sim.Config, bench string, sites []fault.Site, iopts sim.InjectOptions) (*sim.CampaignSummary, error) {
+	cfg.OnProgress = opts.OnRun
 	if opts.JournalDir != "" {
 		cj, err := sim.OpenCampaignJournal(filepath.Join(opts.JournalDir, name+".journal"), cfg, bench, sites, iopts)
 		if err != nil {

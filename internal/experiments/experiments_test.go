@@ -4,9 +4,11 @@ import (
 	"os"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 
 	"blackjack/internal/pipeline"
+	"blackjack/internal/sim"
 )
 
 // smallOpts keeps unit-test runtimes modest; the real harness uses 300k.
@@ -336,5 +338,41 @@ func TestExtHSeedRobustness(t *testing.T) {
 	}
 	if ExtHTable(rows, opts.Benchmarks).NumRows() != 2 {
 		t.Error("ExtH table incomplete")
+	}
+}
+
+// TestOnRunObservesEveryCampaignRun exercises the job-level progress hook:
+// OnRun must fire once per campaign run on the first (live) pass and again
+// on a journal-resumed pass, where every run reports Served == "journal".
+func TestOnRunObservesEveryCampaignRun(t *testing.T) {
+	opts := smallOpts()
+	opts.JournalDir = t.TempDir()
+	var mu sync.Mutex
+	var live, replayed, other int
+	opts.OnRun = func(p sim.RunProgress) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch p.Served {
+		case "journal":
+			replayed++
+		case "cold", "forked", "warm", "fast-forward":
+			live++
+		default:
+			other++
+		}
+	}
+	if _, err := ExtAFaultInjection(opts, "gcc"); err != nil {
+		t.Fatal(err)
+	}
+	want := 3 * len(sim.StandardSites(opts.Machine)) // three modes over the site list
+	if live != want || replayed != 0 || other != 0 {
+		t.Fatalf("first pass: live=%d replayed=%d other=%d, want live=%d", live, replayed, other, want)
+	}
+	live, replayed = 0, 0
+	if _, err := ExtAFaultInjection(opts, "gcc"); err != nil {
+		t.Fatal(err)
+	}
+	if replayed != want || live != 0 {
+		t.Fatalf("resumed pass: live=%d replayed=%d, want all %d from the journal", live, replayed, want)
 	}
 }

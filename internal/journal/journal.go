@@ -97,17 +97,36 @@ const SyncEvery = 32
 // Journal is an append-only JSONL run log. Append is safe for concurrent
 // use; Open/Close are not.
 type Journal[R any] struct {
-	mu      sync.Mutex
-	f       *os.File
-	w       *bufio.Writer
-	pending int
-	closed  bool
+	mu        sync.Mutex
+	f         *os.File
+	w         *bufio.Writer
+	pending   int
+	syncEvery int // 0 selects the SyncEvery default
+	closed    bool
+}
+
+// SetSyncEvery overrides the fsync cadence: every n appended records the
+// journal flushes and fsyncs. n = 1 makes each completed run durable before
+// Append returns — the service posture, where a SIGKILL at any instant must
+// lose nothing. n <= 0 restores the SyncEvery default (batch-CLI posture:
+// graceful shutdowns flush, a hard crash loses at most one cheap batch).
+func (j *Journal[R]) SetSyncEvery(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.syncEvery = n
 }
 
 // ErrKeyMismatch is returned by Open when an existing journal's header does
 // not match the requested kind/key/version — the journal belongs to a
 // different workload and resuming from it would alias unrelated runs.
 var ErrKeyMismatch = errors.New("journal: header does not match this workload")
+
+// ErrLocked is returned by Open when another live process holds the journal:
+// two processes resuming the same journal would interleave appends and
+// corrupt positional run identity, so the second opener fails fast instead.
+// The lock is advisory and dies with the holder's file descriptor, so a
+// SIGKILLed process never leaves a stale lock behind.
+var ErrLocked = errors.New("journal: journal is locked by another process")
 
 // Open opens (creating if absent) the journal at path for the given
 // workload identity and returns the journal plus the records already
@@ -118,6 +137,10 @@ var ErrKeyMismatch = errors.New("journal: header does not match this workload")
 func Open[R any](path string, hdr Header) (*Journal[R], map[int]R, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
+		return nil, nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
 		return nil, nil, err
 	}
 	info, err := f.Stat()
@@ -251,7 +274,11 @@ func (j *Journal[R]) Append(i int, r R) error {
 		return err
 	}
 	j.pending++
-	if j.pending >= SyncEvery {
+	every := j.syncEvery
+	if every <= 0 {
+		every = SyncEvery
+	}
+	if j.pending >= every {
 		return j.syncLocked()
 	}
 	return nil

@@ -4,10 +4,13 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"os/exec"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 type rec struct {
@@ -231,14 +234,15 @@ func TestSyncFlushesPartialBatch(t *testing.T) {
 	if err := j.Sync(); err != nil {
 		t.Fatal(err)
 	}
-	// Read the file through a second handle without closing the first —
-	// the crash-visibility check.
-	_, done, err := Open[rec](path, hdr())
+	// Read the raw file without closing the writer (Open would refuse the
+	// live flock) — the crash-visibility check: one header line plus five
+	// record lines must already be durable.
+	blob, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(done) != 5 {
-		t.Fatalf("after Sync, a reader sees %d records, want 5", len(done))
+	if lines := strings.Count(string(blob), "\n"); lines != 6 {
+		t.Fatalf("after Sync, the file holds %d complete lines, want 6 (header + 5 records)", lines)
 	}
 	j.Close()
 }
@@ -254,5 +258,132 @@ func TestKeyHash(t *testing.T) {
 	// The separator must keep ("ab","c") distinct from ("a","bc").
 	if KeyHash("ab", "c") == KeyHash("a", "bc") {
 		t.Error("KeyHash concatenation ambiguity")
+	}
+}
+
+func TestSecondOpenFailsFastWhileLocked(t *testing.T) {
+	if runtime.GOOS == "windows" || runtime.GOOS == "plan9" {
+		t.Skip("flock exclusivity is unix-only")
+	}
+	path := filepath.Join(t.TempDir(), "run.journal")
+	j, _, err := Open[rec](path, hdr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second opener — the "two processes resuming the same journal"
+	// hazard — must fail fast with the typed error, not interleave appends.
+	if _, _, err := Open[rec](path, hdr()); !errors.Is(err, ErrLocked) {
+		t.Fatalf("second Open while locked: err = %v, want ErrLocked", err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close releases the lock: the journal is resumable again.
+	j2, _, err := Open[rec](path, hdr())
+	if err != nil {
+		t.Fatalf("reopen after Close: %v", err)
+	}
+	j2.Close()
+}
+
+// TestMain doubles as the kill-writer helper process: when the env var
+// names a journal path, this process appends records forever until the
+// parent test SIGKILLs it mid-loop.
+func TestMain(m *testing.M) {
+	if path := os.Getenv("JOURNAL_KILL_WRITER_PATH"); path != "" {
+		killWriterMain(path)
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func killWriterMain(path string) {
+	j, done, err := Open[rec](path, hdr())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kill-writer:", err)
+		os.Exit(1)
+	}
+	// Sync every append so the file grows durably record by record — the
+	// parent kills this process mid-loop, possibly mid-write, and the
+	// healed tail must be a dense prefix of what was appended.
+	for i := len(done); ; i++ {
+		if err := j.Append(i, rec{Site: fmt.Sprintf("site-%d-%s", i, strings.Repeat("x", 200)), Outcome: i}); err != nil {
+			fmt.Fprintln(os.Stderr, "kill-writer:", err)
+			os.Exit(1)
+		}
+		if err := j.Sync(); err != nil {
+			fmt.Fprintln(os.Stderr, "kill-writer:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func TestTornTailHealsAfterSIGKILLedWriter(t *testing.T) {
+	if runtime.GOOS == "windows" || runtime.GOOS == "plan9" {
+		t.Skip("SIGKILL helper is unix-only")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skip("cannot re-exec test binary:", err)
+	}
+	path := filepath.Join(t.TempDir(), "kill.journal")
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(), "JOURNAL_KILL_WRITER_PATH="+path)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Let the writer accumulate a few KB of records, then SIGKILL it —
+	// no deferred flush, no lock release, exactly the crash the torn-tail
+	// healing exists for.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if info, err := os.Stat(path); err == nil && info.Size() > 8<<10 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("kill-writer never produced a journal")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	// Reopen: the flock died with the writer, the torn tail (if any) is
+	// discarded, and the surviving records are a dense prefix 0..n-1 whose
+	// payloads round-trip exactly.
+	j, done, err := Open[rec](path, hdr())
+	if err != nil {
+		t.Fatalf("reopen after SIGKILL: %v", err)
+	}
+	n := len(done)
+	if n == 0 {
+		t.Fatal("no records survived the crash despite per-append Sync")
+	}
+	for i := 0; i < n; i++ {
+		r, ok := done[i]
+		if !ok {
+			t.Fatalf("healed journal has %d records but index %d is missing (not a dense prefix)", n, i)
+		}
+		if r.Outcome != i {
+			t.Fatalf("record %d replays outcome %d", i, r.Outcome)
+		}
+	}
+	// The healed journal must accept appends and resume cleanly.
+	if err := j.Append(n, rec{Site: "post-crash", Outcome: n}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, done, err = Open[rec](path, hdr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != n+1 {
+		t.Fatalf("resume after heal sees %d records, want %d", len(done), n+1)
 	}
 }

@@ -1,0 +1,10 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op on platforms without flock semantics: journal
+// exclusivity degrades to the pre-lock behavior (callers must not resume
+// the same journal from two processes).
+func lockFile(*os.File) error { return nil }

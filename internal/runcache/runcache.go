@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -221,6 +222,7 @@ func (s *Store) evict() {
 	}
 	type entry struct {
 		path  string
+		id    string
 		size  int64
 		mtime time.Time
 	}
@@ -233,14 +235,22 @@ func (s *Store) evict() {
 		if err != nil {
 			return nil
 		}
-		entries = append(entries, entry{path: path, size: info.Size(), mtime: info.ModTime()})
+		// The entry ID is the filename stem (entries live at
+		// <id[:2]>/<id>.json); stray temp files sort by their temp name,
+		// which is fine — they are crash residue and fair eviction fodder.
+		id := strings.TrimSuffix(filepath.Base(path), ".json")
+		entries = append(entries, entry{path: path, id: id, size: info.Size(), mtime: info.ModTime()})
 		return nil
 	})
+	// Oldest mtime first; equal mtimes — routine on filesystems with
+	// coarse (second-granularity) timestamps, where a whole campaign's
+	// fills can land in one tick — tie-break on the entry ID so GC order
+	// is a pure function of store contents, not of directory walk order.
 	sort.Slice(entries, func(i, j int) bool {
 		if !entries[i].mtime.Equal(entries[j].mtime) {
 			return entries[i].mtime.Before(entries[j].mtime)
 		}
-		return entries[i].path < entries[j].path
+		return entries[i].id < entries[j].id
 	})
 	// Recompute from the walk: cheaper than perfect bookkeeping and immune
 	// to drift from concurrent corrupt-entry removals.

@@ -2,11 +2,14 @@ package runcache
 
 import (
 	"encoding/json"
+	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"blackjack/internal/obs"
 )
@@ -398,5 +401,88 @@ func TestDiffPartsNamesFirstMismatch(t *testing.T) {
 				t.Fatalf("DiffParts = %q, want substring %q", got, tc.sub)
 			}
 		})
+	}
+}
+
+func TestEvictionDeterministicOnMtimeCollision(t *testing.T) {
+	// Coarse-mtime filesystems round timestamps to the second, so every
+	// entry a campaign fills can share one mtime. Eviction order must then
+	// be a pure function of store contents (entry-ID order), not of
+	// directory walk order or insertion order.
+	ids := make([]*Identity, 6)
+	for i := range ids {
+		ids[i] = testIdentity("site=" + strconv.Itoa(i))
+	}
+	survivorsOf := func(insertOrder []int) map[string]bool {
+		t.Helper()
+		dir := t.TempDir()
+		s, err := Open(dir, 1<<30) // no eviction during the fills
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range insertOrder {
+			if err := s.Put(ids[i], outcome{Class: "benign", Cycle: int64(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Collapse every mtime to one instant — the collision under test.
+		stamp := time.Unix(1_700_000_000, 0)
+		var entrySize int64
+		filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			if info, err := d.Info(); err == nil {
+				entrySize = info.Size()
+			}
+			return os.Chtimes(path, stamp, stamp)
+		})
+		// Shrink the bound so exactly half the entries must go, and force
+		// the eviction walk.
+		s.maxBytes = entrySize * int64(len(ids)) / 2
+		s.evict()
+		survivors := map[string]bool{}
+		filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+			if err != nil || d.IsDir() {
+				return nil
+			}
+			survivors[strings.TrimSuffix(filepath.Base(path), ".json")] = true
+			return nil
+		})
+		return survivors
+	}
+
+	base := survivorsOf([]int{0, 1, 2, 3, 4, 5})
+	if len(base) == 0 || len(base) == len(ids) {
+		t.Fatalf("eviction test degenerate: %d of %d entries survived", len(base), len(ids))
+	}
+	// Same contents, different insertion orders: identical survivors.
+	for _, order := range [][]int{{5, 4, 3, 2, 1, 0}, {2, 5, 0, 3, 1, 4}} {
+		got := survivorsOf(order)
+		if len(got) != len(base) {
+			t.Fatalf("insertion order %v changed survivor count: %d vs %d", order, len(got), len(base))
+		}
+		for id := range base {
+			if !got[id] {
+				t.Errorf("insertion order %v evicted %s, which the canonical order kept", order, id)
+			}
+		}
+	}
+	// With every mtime equal, the survivors must be exactly the entries
+	// with the largest IDs (smallest IDs evicted first).
+	var all []string
+	for _, id := range ids {
+		all = append(all, id.ID())
+	}
+	sort.Strings(all)
+	for _, id := range all[len(all)-len(base):] {
+		if !base[id] {
+			t.Errorf("ID tie-break violated: %s (among the largest IDs) was evicted", id)
+		}
+	}
+	for _, id := range all[:len(all)-len(base)] {
+		if base[id] {
+			t.Errorf("ID tie-break violated: %s (among the smallest IDs) survived", id)
+		}
 	}
 }

@@ -1,0 +1,113 @@
+package serve
+
+import "sort"
+
+// scheduler is a weighted stride scheduler over tenants: each tenant keeps
+// a FIFO of queued jobs and a pass value; dispatch always picks the live
+// tenant with the smallest pass, then advances that pass by stride/weight.
+// A weight-2 tenant therefore drains twice as fast as a weight-1 tenant
+// under contention, and no backlog — however deep — can starve another
+// tenant: every dispatch from the deep queue advances its pass past the
+// shallow one's.
+//
+// Ties break on tenant name, so dispatch order is deterministic for tests
+// and for post-crash replays. The scheduler is not goroutine-safe; the
+// server serializes access under its mutex.
+type scheduler struct {
+	tenants map[string]*tenantQueue
+	depth   int // total queued jobs across tenants
+}
+
+// strideUnit is the numerator of pass increments. Large enough that
+// stride/weight stays meaningfully distinct across the weight range [1,1000].
+const strideUnit = 1 << 20
+
+type tenantQueue struct {
+	name string
+	jobs []*Job
+	pass uint64
+}
+
+func newScheduler() *scheduler {
+	return &scheduler{tenants: map[string]*tenantQueue{}}
+}
+
+// push enqueues a job for its tenant. A tenant returning from idle restarts
+// at the current minimum pass, so idle time is not banked as a burst
+// entitlement (standard stride-scheduling practice).
+func (s *scheduler) push(j *Job) {
+	tq := s.tenants[j.Spec.Tenant]
+	if tq == nil {
+		tq = &tenantQueue{name: j.Spec.Tenant}
+		s.tenants[j.Spec.Tenant] = tq
+	}
+	if len(tq.jobs) == 0 {
+		if minPass, ok := s.minLivePass(); ok && tq.pass < minPass {
+			tq.pass = minPass
+		}
+	}
+	tq.jobs = append(tq.jobs, j)
+	s.depth++
+}
+
+// pop dispatches the next job: lowest pass among tenants with queued work,
+// tenant name as the deterministic tie-break, FIFO within the tenant.
+func (s *scheduler) pop() *Job {
+	var pick *tenantQueue
+	for _, name := range s.sortedTenants() {
+		tq := s.tenants[name]
+		if len(tq.jobs) == 0 {
+			continue
+		}
+		if pick == nil || tq.pass < pick.pass {
+			pick = tq
+		}
+	}
+	if pick == nil {
+		return nil
+	}
+	j := pick.jobs[0]
+	pick.jobs = pick.jobs[1:]
+	pick.pass += strideUnit / uint64(j.Spec.Weight)
+	s.depth--
+	return j
+}
+
+// remove deletes a queued job by ID (used when a client cancels before
+// dispatch). It reports whether the job was found.
+func (s *scheduler) remove(id string) bool {
+	for _, tq := range s.tenants {
+		for i, j := range tq.jobs {
+			if j.ID == id {
+				tq.jobs = append(tq.jobs[:i], tq.jobs[i+1:]...)
+				s.depth--
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// minLivePass is the smallest pass among tenants that currently have work.
+func (s *scheduler) minLivePass() (uint64, bool) {
+	var minPass uint64
+	found := false
+	for _, tq := range s.tenants {
+		if len(tq.jobs) == 0 {
+			continue
+		}
+		if !found || tq.pass < minPass {
+			minPass, found = tq.pass, true
+		}
+	}
+	return minPass, found
+}
+
+func (s *scheduler) sortedTenants() []string {
+	names := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

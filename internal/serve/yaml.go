@@ -1,0 +1,126 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// parseYAML decodes the YAML subset the job-spec language needs — a flat
+// mapping of scalars and lists — without pulling in a YAML dependency:
+//
+//	type: campaign          # comments are stripped
+//	benchmark: gcc
+//	deadline: "3m"
+//	benchmarks: [gzip, gcc] # flow-style list
+//	modes:                  # block-style list
+//	  - srt
+//	  - blackjack
+//
+// Unquoted scalars get JSON-compatible type inference (bool, number,
+// string); quoted scalars are always strings. Anything deeper (nested
+// mappings, anchors, multi-line scalars) is rejected with a typed error —
+// the spec language is deliberately flat.
+func parseYAML(data []byte) (map[string]any, error) {
+	m := map[string]any{}
+	var listKey string // non-empty while consuming a block-style list
+	for ln, raw := range strings.Split(string(data), "\n") {
+		line := stripComment(raw)
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		indented := line[0] == ' ' || line[0] == '\t'
+		item, isItem := strings.CutPrefix(strings.TrimSpace(line), "- ")
+		if trimmed := strings.TrimSpace(line); trimmed == "-" {
+			item, isItem = "", true
+		}
+		if isItem {
+			if listKey == "" || !indented {
+				return nil, &SpecError{Field: "(body)",
+					Reason: fmt.Sprintf("yaml line %d: list item outside a block list", ln+1)}
+			}
+			m[listKey] = append(m[listKey].([]any), inferScalar(item))
+			continue
+		}
+		if indented {
+			return nil, &SpecError{Field: "(body)",
+				Reason: fmt.Sprintf("yaml line %d: nested mappings are not part of the spec language", ln+1)}
+		}
+		listKey = ""
+		key, val, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, &SpecError{Field: "(body)",
+				Reason: fmt.Sprintf("yaml line %d: expected key: value", ln+1)}
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		if key == "" {
+			return nil, &SpecError{Field: "(body)",
+				Reason: fmt.Sprintf("yaml line %d: empty key", ln+1)}
+		}
+		switch {
+		case val == "":
+			// Either a block list follows, or the value is genuinely empty;
+			// the empty list also decodes cleanly as an absent field.
+			listKey = key
+			m[key] = []any{}
+		case strings.HasPrefix(val, "[") && strings.HasSuffix(val, "]"):
+			var items []any
+			inner := strings.TrimSpace(val[1 : len(val)-1])
+			if inner != "" {
+				for _, it := range strings.Split(inner, ",") {
+					items = append(items, inferScalar(strings.TrimSpace(it)))
+				}
+			}
+			m[key] = items
+		default:
+			m[key] = inferScalar(val)
+		}
+	}
+	return m, nil
+}
+
+// stripComment removes a trailing "#..." comment, respecting quoted
+// strings.
+func stripComment(line string) string {
+	inQuote := byte(0)
+	for i := 0; i < len(line); i++ {
+		switch c := line[i]; {
+		case inQuote != 0 && c == inQuote:
+			inQuote = 0
+		case inQuote == 0 && (c == '"' || c == '\''):
+			inQuote = c
+		case inQuote == 0 && c == '#':
+			return line[:i]
+		}
+	}
+	return line
+}
+
+// inferScalar maps an unquoted YAML scalar onto the JSON value model:
+// quoted text stays a string, true/false become bools, numerics become
+// json.Number (preserving uint64 seeds exactly), everything else is a
+// string.
+func inferScalar(s string) any {
+	if len(s) >= 2 {
+		if (s[0] == '"' && s[len(s)-1] == '"') || (s[0] == '\'' && s[len(s)-1] == '\'') {
+			return s[1 : len(s)-1]
+		}
+	}
+	switch s {
+	case "true":
+		return true
+	case "false":
+		return false
+	case "null", "~":
+		return nil
+	}
+	if _, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return json.Number(s)
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil {
+		return json.Number(s)
+	}
+	return s
+}

@@ -371,6 +371,22 @@ func SitesForKind(cfg pipeline.Config, kind fault.Kind) ([]fault.Site, error) {
 	return nil, fmt.Errorf("sim: no site builder for fault kind %v", kind)
 }
 
+// IsLatentCampaign reports whether the site list is exactly the canonical
+// 16-site latent campaign for the machine — how quarantine repro commands
+// (and the serve layer's spec round-trip) know to say `-sites latent`.
+func IsLatentCampaign(cfg pipeline.Config, sites []fault.Site) bool {
+	ref := LatentSites(cfg)
+	if len(ref) != len(sites) {
+		return false
+	}
+	for i := range ref {
+		if ref[i] != sites[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // canonicalKind reports which kind's canonical campaign (SitesForKind)
 // exactly matches the site list, if any — how quarantine repro commands
 // know to include -fault-kind.
@@ -608,6 +624,15 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 	if cfg.Cache != nil {
 		cacheBase = campaignBaseIdentity(cfg, p, opts)
 	}
+	report := func(i int, rec runRecord, served string) {
+		if cfg.OnProgress == nil {
+			return
+		}
+		cfg.OnProgress(RunProgress{
+			Index: i, Total: len(sites), Result: rec.Result, Served: served,
+			Retries: rec.Retries, Quarantined: rec.Failure != nil,
+		})
+	}
 	runOne := func(w *campaignWorker, worker, i int) (InjectionResult, error) {
 		if wd != nil {
 			wd.Begin(worker, i)
@@ -629,6 +654,7 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 					runner.mu.Unlock()
 				}
 				w.recordRecord(rec)
+				report(i, rec, "journal")
 				return rec.Result, nil
 			}
 		}
@@ -664,6 +690,7 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 					}
 				}
 				w.recordRecord(rec)
+				report(i, rec, "cache")
 				return rec.Result, nil
 			}
 		}
@@ -683,6 +710,7 @@ func CampaignProgram(cfg Config, p *isa.Program, sites []fault.Site, opts Inject
 			}
 		}
 		w.recordRecord(rec)
+		report(i, rec, string(rec.Path))
 		return rec.Result, nil
 	}
 	results, states, err := parallel.MapWorkerStateCtx(cfg.Ctx, cfg.Parallel, len(sites), newWorker, runOne)

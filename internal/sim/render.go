@@ -1,0 +1,45 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+
+	"blackjack/internal/pipeline"
+)
+
+// This file is the single source of truth for the campaign outcome table.
+// The batch CLI (bjfault) and the campaign service (bjserve) both render
+// through it, which is what makes "the same work through the server prints
+// byte-identical tables" a structural property instead of a test hope.
+
+// FormatInjectionResult renders one campaign row: site, outcome,
+// activation count and the first detection event when there was one.
+func FormatInjectionResult(r InjectionResult) string {
+	detail := ""
+	if r.FirstEvent != nil {
+		detail = " | " + r.FirstEvent.String()
+	}
+	return fmt.Sprintf("%-44s %-17s activations=%-7d%s", r.Site, r.Outcome, r.Activations, detail)
+}
+
+// WriteCampaignTable writes a campaign's stdout table: header, one row per
+// site in site order, and the outcome summary, followed by a blank line.
+// Operational annotations (resume counts, cache hits, quarantine repros)
+// are deliberately excluded — they are stderr material, so the table stays
+// byte-identical across fresh, resumed, cached and served executions.
+func WriteCampaignTable(w io.Writer, mode pipeline.Mode, benchmark string, sum *CampaignSummary) error {
+	if _, err := fmt.Fprintf(w, "== %s on %q: %d sites ==\n", mode, benchmark, len(sum.Results)); err != nil {
+		return err
+	}
+	for _, r := range sum.Results {
+		if _, err := fmt.Fprintln(w, FormatInjectionResult(r)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "summary: %d activated, detection rate %.1f%% (detected %d, silent %d, benign %d, wedged %d, quarantined %d)\n\n",
+		sum.ActiveRuns, 100*sum.DetectionRate(),
+		sum.Counts[OutcomeDetected], sum.Counts[OutcomeSilent],
+		sum.Counts[OutcomeBenign], sum.Counts[OutcomeWedged],
+		sum.Counts[OutcomeQuarantined])
+	return err
+}

@@ -219,6 +219,11 @@ func OpenCampaignJournal(path string, cfg Config, program string, sites []fault.
 // Done returns how many completed runs the journal already holds.
 func (cj *CampaignJournal) Done() int { return len(cj.done) }
 
+// SetSyncEvery overrides the fsync cadence: 1 makes every completed run
+// durable before its Append returns (service posture — a SIGKILL at any
+// instant loses nothing), <= 0 restores batched fsyncs.
+func (cj *CampaignJournal) SetSyncEvery(n int) { cj.j.SetSyncEvery(n) }
+
 // Sync flushes and fsyncs pending records (graceful-shutdown path).
 func (cj *CampaignJournal) Sync() error { return cj.j.Sync() }
 
@@ -255,9 +260,11 @@ func (c *campaignRunner) repro(i int) string {
 	cmd := fmt.Sprintf("bjfault -bench %s -mode %v -n %d -site-index %d",
 		c.prog.Name, c.cfg.Mode, c.cfg.MaxInstructions, i)
 	// bjfault's -site-index indexes into the canonical list of one fault
-	// kind; when this campaign ran such a list, name it so the replay picks
-	// the same site.
-	if kind, ok := canonicalKind(c.cfg.Machine, c.sites); ok && kind != fault.KindPermanent {
+	// kind (or the latent campaign under -sites latent); when this campaign
+	// ran such a list, name it so the replay picks the same site.
+	if IsLatentCampaign(c.cfg.Machine, c.sites) {
+		cmd += " -sites latent"
+	} else if kind, ok := canonicalKind(c.cfg.Machine, c.sites); ok && kind != fault.KindPermanent {
 		cmd += fmt.Sprintf(" -fault-kind %v", kind)
 	}
 	if !c.opts.SplitPayload {

@@ -101,6 +101,33 @@ type Config struct {
 	// recomputed live and diffed against the stored outcome, with
 	// divergences counted on the store and the live result served.
 	CacheVerify float64
+	// OnProgress, when non-nil, receives one RunProgress per completed
+	// campaign run — live, journal-replayed and cache-served alike — as the
+	// campaign executes. This is the job-level progress/resume hook the
+	// campaign service streams events from. Called from worker goroutines
+	// (never concurrently for the same index, but concurrently across
+	// indices), so the callback must be safe for concurrent use; it must
+	// not block, and it cannot change results.
+	OnProgress func(RunProgress)
+}
+
+// RunProgress is one completed campaign run as reported to
+// Config.OnProgress.
+type RunProgress struct {
+	// Index is the site index within the campaign; Total the site count.
+	Index int
+	Total int
+	// Result is the run's classification (OutcomeQuarantined for runs the
+	// resilience layer excluded).
+	Result InjectionResult
+	// Served names what produced the record: "journal" (replayed on
+	// resume), "cache" (content-addressable hit), or the live execution
+	// path ("cold", "forked", "warm", "fast-forward").
+	Served string
+	// Retries counts re-executions beyond the run's first attempt.
+	Retries int
+	// Quarantined marks runs excluded by the resilience layer.
+	Quarantined bool
 }
 
 // DefaultFFWarmup is the default fast-forward warmup lead (committed
